@@ -1,0 +1,235 @@
+// Package cnb_test holds the benchmark harness: one testing.B benchmark
+// per experiment of EXPERIMENTS.md (regenerating the paper's artifacts)
+// plus micro-benchmarks of the individual pipeline phases and of plan
+// execution. Run with:
+//
+//	go test -bench=. -benchmem
+package cnb_test
+
+import (
+	"testing"
+
+	"cnb/internal/backchase"
+	"cnb/internal/bench"
+	"cnb/internal/chase"
+	"cnb/internal/core"
+	"cnb/internal/cost"
+	"cnb/internal/engine"
+	"cnb/internal/eval"
+	"cnb/internal/instance"
+	"cnb/internal/optimizer"
+	"cnb/internal/workload"
+)
+
+// --- experiment benchmarks (E1..E11) -------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var run func() (*bench.Table, error)
+	for _, e := range bench.All() {
+		if e.ID == id {
+			run = e.Run
+		}
+	}
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1UniversalPlan(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2Chase(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3Minimize(b *testing.B)      { benchExperiment(b, "E3") }
+func BenchmarkE4IndexOnly(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5ViewIndex(b *testing.B)     { benchExperiment(b, "E5") }
+func BenchmarkE6ChaseScaling(b *testing.B)  { benchExperiment(b, "E6") }
+func BenchmarkE7Backchase(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8PlanExecution(b *testing.B) { benchExperiment(b, "E8") }
+func BenchmarkE9OptTime(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Gmap(b *testing.B)         { benchExperiment(b, "E10") }
+func BenchmarkE11Semantic(b *testing.B)     { benchExperiment(b, "E11") }
+
+// --- pipeline phase micro-benchmarks --------------------------------------
+
+func projDept(b *testing.B) *workload.ProjDept {
+	b.Helper()
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pd
+}
+
+// BenchmarkChaseProjDept measures phase 1 alone on the running example.
+func BenchmarkChaseProjDept(b *testing.B) {
+	pd := projDept(b)
+	deps := pd.AllDeps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chase.Chase(pd.Q, deps, chase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackchaseProjDept measures phase 2 (full enumeration) alone.
+func BenchmarkBackchaseProjDept(b *testing.B) {
+	pd := projDept(b)
+	deps := pd.AllDeps()
+	chased, err := chase.Chase(pd.Q, deps, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := backchase.Enumerate(chased.Query, deps, backchase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeProjDept measures Algorithm 1 end to end.
+func BenchmarkOptimizeProjDept(b *testing.B) {
+	pd := projDept(b)
+	opts := optimizer.Options{Deps: pd.AllDeps(), PhysicalNames: pd.Physical.NameSet()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := optimizer.Optimize(pd.Q, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinimizeGreedy measures the greedy single-plan backchase.
+func BenchmarkMinimizeGreedy(b *testing.B) {
+	pd := projDept(b)
+	deps := pd.AllDeps()
+	chased, err := chase.Chase(pd.Q, deps, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := backchase.MinimizeOne(chased.Query, deps, backchase.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- plan execution benchmarks (the physical premise) ---------------------
+
+func projDeptPlans() (p2, p3, p4 *core.Query) {
+	v, n, prj, lk, lknf := core.V, core.Name, core.Prj, core.Lk, core.LkNF
+	out := core.Struct(
+		core.SF("PN", prj(v("p"), "PName")),
+		core.SF("PB", prj(v("p"), "Budg")),
+		core.SF("DN", prj(v("p"), "PDept")),
+	)
+	p2 = &core.Query{
+		Out:      out,
+		Bindings: []core.Binding{{Var: "p", Range: n("Proj")}},
+		Conds:    []core.Cond{{L: prj(v("p"), "CustName"), R: core.C("CitiBank")}},
+	}
+	p3 = &core.Query{
+		Out:      out,
+		Bindings: []core.Binding{{Var: "p", Range: lknf(n("SI"), core.C("CitiBank"))}},
+	}
+	p4 = &core.Query{
+		Out: core.Struct(
+			core.SF("PN", prj(v("j"), "PN")),
+			core.SF("PB", prj(lk(n("I"), prj(v("j"), "PN")), "Budg")),
+			core.SF("DN", prj(lk(n("Dept"), prj(v("j"), "DOID")), "DName")),
+		),
+		Bindings: []core.Binding{{Var: "j", Range: n("JI")}},
+		Conds: []core.Cond{
+			{L: prj(lk(n("I"), prj(v("j"), "PN")), "CustName"), R: core.C("CitiBank")},
+		},
+	}
+	return p2, p3, p4
+}
+
+func benchPlan(b *testing.B, q *core.Query, in *instance.Instance) {
+	b.Helper()
+	plan, err := engine.Compile(q, in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func genSelective(b *testing.B) *instance.Instance {
+	b.Helper()
+	pd := projDept(b)
+	return pd.Generate(workload.GenOptions{
+		NumDepts: 500, ProjsPerDept: 10, CitiBankShare: 0.002, Seed: 3,
+	})
+}
+
+// At 0.2% selectivity over 5000 projects, the scan (P2) pays for the whole
+// relation while the index plans (P3, P4) touch only matches: the paper's
+// physical premise, measured.
+func BenchmarkExecP2ScanSelective(b *testing.B) {
+	p2, _, _ := projDeptPlans()
+	benchPlan(b, p2, genSelective(b))
+}
+
+func BenchmarkExecP3IndexSelective(b *testing.B) {
+	_, p3, _ := projDeptPlans()
+	benchPlan(b, p3, genSelective(b))
+}
+
+func BenchmarkExecP4JoinIndexSelective(b *testing.B) {
+	_, _, p4 := projDeptPlans()
+	benchPlan(b, p4, genSelective(b))
+}
+
+// --- reference evaluator vs engine ----------------------------------------
+
+func BenchmarkEvalNaiveQ(b *testing.B) {
+	pd := projDept(b)
+	in := pd.Generate(workload.GenOptions{NumDepts: 20, ProjsPerDept: 5, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.QueryEager(pd.Q, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineQ(b *testing.B) {
+	pd := projDept(b)
+	in := pd.Generate(workload.GenOptions{NumDepts: 20, ProjsPerDept: 5, Seed: 1})
+	benchPlan(b, pd.Q, in)
+}
+
+// --- cost model -----------------------------------------------------------
+
+func BenchmarkCostEstimate(b *testing.B) {
+	pd := projDept(b)
+	in := pd.Generate(workload.GenOptions{Seed: 1})
+	stats := cost.FromInstance(in)
+	p2, p3, p4 := projDeptPlans()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.Estimate(p2)
+		stats.Estimate(p3)
+		stats.Estimate(p4)
+	}
+}

@@ -1,0 +1,44 @@
+// Command chasebench runs the reproduction experiments (E1–E11 of
+// EXPERIMENTS.md) and prints their tables.
+//
+// Usage:
+//
+//	chasebench            # run everything
+//	chasebench -exp E1    # run one experiment
+//	chasebench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cnb/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "run a single experiment (e.g. E1)")
+		list = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	for _, e := range bench.All() {
+		if *exp != "" && !strings.EqualFold(*exp, e.ID) {
+			continue
+		}
+		tb, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tb)
+	}
+}

@@ -1,0 +1,712 @@
+// Package backchase implements the second phase of the chase & backchase
+// method (§3 of Deutsch, Popa, Tannen, VLDB 1999): starting from the
+// universal plan, repeatedly eliminate bindings whose removal preserves
+// equivalence under the dependencies, producing the minimal plans.
+//
+// A backchase step removing binding "R y" from query Q must satisfy
+// (paper's conditions):
+//
+//  1. the remaining conditions C' are implied by C,
+//  2. the output O' is congruent to O and avoids y,
+//  3. the constraint ∀(survivors) C' → ∃ y∈R. C is implied by the
+//     dependencies — equivalently, the reduced query is equivalent to Q
+//     under the dependencies, which we verify with a chase-based
+//     containment check in both directions.
+//
+// Theorem 2 (Complete Backchase): the minimal equivalent subqueries of Q
+// are exactly the normal forms of backchasing Q. Enumerate explores every
+// backchase sequence and returns all normal forms.
+package backchase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cnb/internal/chase"
+	"cnb/internal/congruence"
+	"cnb/internal/core"
+)
+
+// Options tunes the backchase.
+type Options struct {
+	// Chase configures the embedded chase runs used by equivalence checks.
+	Chase chase.Options
+	// MaxPlans caps the number of distinct normal forms collected
+	// (0 = no cap).
+	MaxPlans int
+	// MaxStates caps the number of distinct intermediate subqueries
+	// explored (0 = default 100000), a safety valve for adversarial
+	// inputs — the search space is exponential in the number of
+	// redundant bindings (§5).
+	MaxStates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 100000
+	}
+	return o
+}
+
+// Result holds the outcome of a backchase enumeration.
+type Result struct {
+	// Plans are the distinct normal forms (minimal equivalent subqueries),
+	// deduplicated by renaming-invariant signature.
+	Plans []*core.Query
+	// Explored are all distinct subqueries visited by the enumeration
+	// (every state of every backchase sequence), including the normal
+	// forms. The paper presents intermediate states such as P1 that are
+	// further reducible under rich constraint sets; Explored lets callers
+	// inspect them.
+	Explored []*core.Query
+	// States is the number of distinct subqueries explored.
+	States int
+	// Truncated reports whether a cap stopped the enumeration early.
+	Truncated bool
+}
+
+// Enumerate explores all backchase sequences from q under deps and returns
+// every normal form. The input query is typically the universal plan
+// chase(Q); per Theorem 1 its subqueries contain all minimal plans.
+//
+// States are canonicalized as removal sets against the root: every state
+// is Subquery(q, removed) for some set of removed binding variables, which
+// is deterministic, so the search memoizes on the surviving-variable set.
+// Computing subqueries from the root's congruence closure (the richest
+// one) makes the search at least as complete as chaining single steps
+// through intermediate states.
+func Enumerate(q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	e, err := newEnumerator(q, deps, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.visit(map[string]bool{}, q); err != nil {
+		return nil, err
+	}
+	res := &Result{States: len(e.seen), Truncated: e.truncated}
+	res.Plans = append(res.Plans, e.plansInOrder...)
+	res.Explored = append(res.Explored, e.explored...)
+	return res, nil
+}
+
+// MinimizeOne performs a greedy backchase: repeatedly apply the first
+// sound removal until none applies, returning a single (normalized)
+// minimal plan. Deterministic: bindings are tried in order.
+func MinimizeOne(q *core.Query, deps []*core.Dependency, opts Options) (*core.Query, error) {
+	opts = opts.withDefaults()
+	e, err := newEnumerator(q, deps, opts)
+	if err != nil {
+		return nil, err
+	}
+	removed := map[string]bool{}
+	cur := q.Clone()
+	for {
+		next, nextQ, err := e.firstRemoval(removed, cur)
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			return Normalize(cur, deps, opts.Chase), nil
+		}
+		removed, cur = next, nextQ
+	}
+}
+
+// IsMinimal reports whether no backchase step applies to q under deps.
+func IsMinimal(q *core.Query, deps []*core.Dependency, opts Options) (bool, error) {
+	opts = opts.withDefaults()
+	e, err := newEnumerator(q, deps, opts)
+	if err != nil {
+		return false, err
+	}
+	next, _, err := e.firstRemoval(map[string]bool{}, q)
+	if err != nil {
+		return false, err
+	}
+	return next == nil, nil
+}
+
+type enumerator struct {
+	deps         []*core.Dependency
+	opts         Options
+	seen         map[string]bool
+	plans        map[string]*core.Query
+	plansInOrder []*core.Query
+	explored     []*core.Query
+	truncated    bool
+
+	// root is the query every explored state must stay equivalent to.
+	// rootCanon is the canonical database of chase(root), computed once:
+	// root ⊑ sub is checked by mapping sub into it.
+	root      *core.Query
+	rootCanon *chase.Canon
+	// eqCache memoizes "is Subquery(root, removed) equivalent to root",
+	// keyed by the canonical surviving-variable set.
+	eqCache map[string]bool
+	// subCache memoizes the subquery construction per surviving set.
+	subCache map[string]*core.Query
+}
+
+func newEnumerator(q *core.Query, deps []*core.Dependency, opts Options) (*enumerator, error) {
+	res, err := chase.Chase(q, deps, opts.Chase)
+	if err != nil {
+		return nil, err
+	}
+	return &enumerator{
+		deps:      deps,
+		opts:      opts,
+		seen:      map[string]bool{},
+		plans:     map[string]*core.Query{},
+		root:      q,
+		rootCanon: chase.NewCanon(res.Query),
+		eqCache:   map[string]bool{},
+		subCache:  map[string]*core.Query{},
+	}, nil
+}
+
+// stateKey canonicalizes a removal set.
+func (e *enumerator) stateKey(removed map[string]bool) string {
+	var sb strings.Builder
+	for _, b := range e.root.Bindings {
+		if removed[b.Var] {
+			sb.WriteString(b.Var)
+			sb.WriteByte(';')
+		}
+	}
+	return sb.String()
+}
+
+// visit explores the state identified by the removal set; cur is
+// Subquery(root, removed) (the root itself for the empty set).
+func (e *enumerator) visit(removed map[string]bool, cur *core.Query) error {
+	key := e.stateKey(removed)
+	if e.seen[key] {
+		return nil
+	}
+	if len(e.seen) >= e.opts.MaxStates {
+		e.truncated = true
+		return nil
+	}
+	e.seen[key] = true
+	e.explored = append(e.explored, cur)
+
+	normal := true
+	for _, b := range cur.Bindings {
+		if e.opts.MaxPlans > 0 && len(e.plans) >= e.opts.MaxPlans {
+			e.truncated = true
+			return nil
+		}
+		next, nextQ, err := e.tryRemove(removed, b.Var)
+		if err != nil {
+			return err
+		}
+		if next == nil {
+			continue
+		}
+		normal = false
+		if err := e.visit(next, nextQ); err != nil {
+			return err
+		}
+	}
+	if normal {
+		// Normal forms are normalized (implied conditions pruned, outputs
+		// minimized) and deduplicated in normalized form: distinct raw
+		// normal forms can be the same plan up to implied equalities.
+		plan := Normalize(cur, e.deps, e.opts.Chase)
+		psig := plan.NormalizeBindingOrder().Signature()
+		if _, dup := e.plans[psig]; !dup {
+			e.plans[psig] = plan
+			e.plansInOrder = append(e.plansInOrder, plan)
+		}
+	}
+	return nil
+}
+
+func (e *enumerator) firstRemoval(removed map[string]bool, cur *core.Query) (map[string]bool, *core.Query, error) {
+	for _, b := range cur.Bindings {
+		next, nextQ, err := e.tryRemove(removed, b.Var)
+		if err != nil {
+			return nil, nil, err
+		}
+		if next != nil {
+			return next, nextQ, nil
+		}
+	}
+	return nil, nil, nil
+}
+
+// tryRemove attempts a backchase step eliminating the named binding (on
+// top of the already-removed set), cascading to dependent bindings that
+// cannot be re-expressed. Returns the grown removal set and the resulting
+// subquery, or nils if the step is unsound or impossible. Soundness is
+// equivalence to the enumeration root, which coincides with the paper's
+// per-step condition since every state is equivalent to the root.
+func (e *enumerator) tryRemove(removed map[string]bool, v string) (map[string]bool, *core.Query, error) {
+	grown := make(map[string]bool, len(removed)+1)
+	for r := range removed {
+		grown[r] = true
+	}
+	grown[v] = true
+
+	key := e.stateKey(grown)
+	sub, cached := e.subCache[key]
+	if !cached {
+		var ok bool
+		sub, ok = Subquery(e.root, grown)
+		if !ok {
+			sub = nil
+		}
+		e.subCache[key] = sub
+	}
+	if sub == nil || len(sub.Bindings) == 0 {
+		return nil, nil, nil
+	}
+	// The cascade may have removed more variables; canonicalize the set.
+	surviving := sub.BoundVars()
+	full := map[string]bool{}
+	for _, b := range e.root.Bindings {
+		if !surviving[b.Var] {
+			full[b.Var] = true
+		}
+	}
+	fullKey := e.stateKey(full)
+
+	if eq, hit := e.eqCache[fullKey]; hit {
+		if !eq {
+			return nil, nil, nil
+		}
+		return full, sub, nil
+	}
+	eq, err := e.equivalentToRoot(sub)
+	if err != nil {
+		// A budget failure on a candidate means we cannot verify the
+		// removal; treat as unsound (skip) rather than aborting the
+		// whole enumeration.
+		if _, budget := err.(*chase.ErrBudget); budget {
+			e.eqCache[fullKey] = false
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	e.eqCache[fullKey] = eq
+	if !eq {
+		return nil, nil, nil
+	}
+	return full, sub, nil
+}
+
+// equivalentToRoot checks sub ≡ root under the dependencies.
+// Direction root ⊑ sub: containment mapping from sub into the precomputed
+// chase(root). Direction sub ⊑ root: chase(sub), then map root into it.
+func (e *enumerator) equivalentToRoot(sub *core.Query) (bool, error) {
+	// root ⊑ sub (cheap).
+	avoid := e.rootCanon.Q.BoundVars()
+	subF := sub.RenameVars(core.FreshRenaming("h_", avoid))
+	if len(e.rootCanon.HomsOfQueryInto(subF, e.rootCanon.Q.Out, 1)) == 0 {
+		return false, nil
+	}
+	// sub ⊑ root.
+	return contained(sub, e.root, e.deps, e.opts.Chase)
+}
+
+// Subquery computes the induced subquery of q after removing the bindings
+// of the given variables (cascading removal to bindings whose ranges
+// cannot be rewritten to avoid them). It returns the subquery and whether
+// the construction succeeded: it fails when the output cannot be
+// re-expressed without the removed variables.
+//
+// The construction follows §3: group the query's terms into congruence
+// classes by its conditions; the new conditions are a maximal set of
+// implied equalities over surviving terms; the new output is a congruent
+// rewriting of the old.
+func Subquery(q *core.Query, removedVars map[string]bool) (*core.Query, bool) {
+	removed := make(map[string]bool, len(removedVars))
+	for v := range removedVars {
+		removed[v] = true
+	}
+
+	cc := congruence.New()
+	for _, t := range q.AllTerms() {
+		cc.Add(t)
+	}
+	for _, c := range q.Conds {
+		cc.Merge(c.L, c.R)
+	}
+
+	// Cascade: a surviving binding whose range cannot avoid the removed
+	// variables is removed as well (paper's footnote 6 alternative).
+	type rebound struct {
+		v     string
+		rng   *core.Term
+		order int
+	}
+	var survivors []rebound
+	for {
+		survivors = survivors[:0]
+		grown := false
+		for idx, b := range q.Bindings {
+			if removed[b.Var] {
+				continue
+			}
+			rng, ok := cc.Rewrite(b.Range, removed)
+			if !ok {
+				removed[b.Var] = true
+				grown = true
+				break
+			}
+			survivors = append(survivors, rebound{v: b.Var, rng: rng, order: idx})
+		}
+		if !grown {
+			break
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, false
+	}
+
+	// Output must be re-expressible.
+	out, ok := cc.Rewrite(q.Out, removed)
+	if !ok {
+		return nil, false
+	}
+
+	// Maximal implied conditions over surviving terms: for every
+	// congruence class, equate the distinct rewritten representatives.
+	var conds []core.Cond
+	condSeen := map[string]bool{}
+	addCond := func(l, r *core.Term) {
+		if l.Equal(r) {
+			return
+		}
+		k1, k2 := l.HashKey(), r.HashKey()
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		key := k1 + "=" + k2
+		if condSeen[key] {
+			return
+		}
+		condSeen[key] = true
+		conds = append(conds, core.Cond{L: l, R: r})
+	}
+	for _, class := range cc.Classes() {
+		var reps []*core.Term
+		repSeen := map[string]bool{}
+		for _, m := range class {
+			// Include rebuilt variants, not only interned members: plans
+			// like the paper's P4 need derived conditions such as
+			// I[j.PN].CustName = "CitiBank".
+			for _, r := range cc.RewriteVariants(m, removed) {
+				k := r.HashKey()
+				if !repSeen[k] {
+					repSeen[k] = true
+					reps = append(reps, r)
+				}
+			}
+		}
+		for k := 1; k < len(reps); k++ {
+			addCond(reps[0], reps[k])
+		}
+	}
+
+	// Keep only conditions over surviving variables (rewriting can in
+	// principle still produce removed vars through class members that
+	// mention them — filter defensively).
+	surviving := make(map[string]bool, len(survivors))
+	for _, s := range survivors {
+		surviving[s.v] = true
+	}
+	okVars := func(t *core.Term) bool {
+		for v := range t.Vars() {
+			if !surviving[v] {
+				return false
+			}
+		}
+		return true
+	}
+	kept := conds[:0]
+	for _, c := range conds {
+		if okVars(c.L) && okVars(c.R) {
+			kept = append(kept, c)
+		}
+	}
+	conds = kept
+	if !okVars(out) {
+		return nil, false
+	}
+
+	// Assemble and re-establish binding scope by topological order.
+	sub := &core.Query{Out: out}
+	for _, s := range survivors {
+		sub.Bindings = append(sub.Bindings, core.Binding{Var: s.v, Range: s.rng})
+	}
+	sub.Conds = conds
+	sorted, ok := topoSortBindings(sub.Bindings)
+	if !ok {
+		return nil, false
+	}
+	sub.Bindings = sorted
+	if err := sub.Validate(); err != nil {
+		return nil, false
+	}
+	return sub, true
+}
+
+// Normalize cleans a plan for presentation and costing without changing
+// its meaning under the dependencies:
+//
+//  1. prune conditions that are implied by the dependencies together with
+//     the remaining conditions (checked with the chase), and
+//  2. rewrite each output field to the smallest congruent term over the
+//     plan's own variables.
+//
+// The maximal condition sets built by Subquery are needed during the
+// enumeration (they carry the information later removals rely on), but the
+// paper's displayed plans — e.g. P2 without the primary-index equality
+// I[p.PName] = p — correspond to the pruned form.
+func Normalize(q *core.Query, deps []*core.Dependency, opts chase.Options) *core.Query {
+	cur := q.Clone()
+	for changed := true; changed; {
+		changed = false
+		// Try pruning the largest conditions first so that small key
+		// equalities (e.g. k = "CitiBank", which later enables the
+		// non-failing-lookup simplification of P3) are the ones kept when
+		// two conditions imply each other.
+		order := make([]int, len(cur.Conds))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ca, cb := cur.Conds[order[a]], cur.Conds[order[b]]
+			return ca.L.Size()+ca.R.Size() > cb.L.Size()+cb.R.Size()
+		})
+		for _, i := range order {
+			cand := cur.Clone()
+			cond := cand.Conds[i]
+			cand.Conds = append(cand.Conds[:i:i], cand.Conds[i+1:]...)
+			res, err := chase.Chase(cand, deps, opts)
+			if err != nil || res.Inconsistent {
+				continue
+			}
+			cn := chase.NewCanon(res.Query)
+			if cn.CC.Same(cond.L, cond.R) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	// Output normalization against the chased plan's congruence classes.
+	res, err := chase.Chase(cur, deps, opts)
+	if err == nil && !res.Inconsistent {
+		cn := chase.NewCanon(res.Query)
+		own := cur.BoundVars()
+		cur.Out = normalizeTerm(cur.Out, cn, own)
+	}
+	return cur
+}
+
+// normalizeTerm picks the smallest congruent representative of t (by term
+// size, then HashKey) among rewritings of the canon's class members into
+// the plan's own variables. Considering rebuilt forms — not only interned
+// members — lets two plans that express the same value through different
+// access paths (Dept[j.DOID].DName vs I[j.PN].PDept) converge to one
+// canonical output. Struct constructors are normalized field-wise.
+func normalizeTerm(t *core.Term, cn *chase.Canon, own map[string]bool) *core.Term {
+	if t.Kind == core.KStruct {
+		fs := make([]core.StructField, len(t.Fields))
+		for i, f := range t.Fields {
+			fs[i] = core.StructField{Name: f.Name, Term: normalizeTerm(f.Term, cn, own)}
+		}
+		return core.Struct(fs...)
+	}
+	if !cn.CC.Contains(t) {
+		return t
+	}
+	// Variables to avoid: everything bound by the chased query that is not
+	// the plan's own.
+	avoid := map[string]bool{}
+	for v := range cn.Q.BoundVars() {
+		if !own[v] {
+			avoid[v] = true
+		}
+	}
+	best := t
+	consider := func(m *core.Term) {
+		for v := range m.Vars() {
+			if !own[v] {
+				return
+			}
+		}
+		if m.Size() < best.Size() || (m.Size() == best.Size() && m.HashKey() < best.HashKey()) {
+			best = m
+		}
+	}
+	for _, m := range cn.CC.ClassMembers(t) {
+		for _, r := range cn.CC.RewriteVariants(m, avoid) {
+			consider(r)
+		}
+	}
+	return best
+}
+
+// topoSortBindings orders bindings so that every range mentions only
+// earlier variables, preserving the given order among independent
+// bindings. Returns ok=false on cyclic dependencies.
+func topoSortBindings(bs []core.Binding) ([]core.Binding, bool) {
+	n := len(bs)
+	used := make([]bool, n)
+	introduced := map[string]bool{}
+	out := make([]core.Binding, 0, n)
+	for len(out) < n {
+		progress := false
+		for i, b := range bs {
+			if used[i] {
+				continue
+			}
+			ready := true
+			for v := range b.Range.Vars() {
+				if !introduced[v] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			used[i] = true
+			introduced[b.Var] = true
+			out = append(out, b)
+			progress = true
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// equivalent decides Q1 ≡ Q2 under deps with chase-based containment in
+// both directions: Qi ⊑ Qj iff there is a containment mapping
+// (homomorphism with output match) from Qj into chase(Qi).
+func equivalent(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
+	c1, err := contained(q1, q2, deps, opts)
+	if err != nil || !c1 {
+		return false, err
+	}
+	return contained(q2, q1, deps, opts)
+}
+
+// contained decides Q1 ⊑ Q2 under deps (every answer of Q1 is an answer
+// of Q2 on instances satisfying deps).
+func contained(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
+	res, err := chase.Chase(q1, deps, opts)
+	if err != nil {
+		return false, err
+	}
+	if res.Inconsistent {
+		return true, nil // Q1 empty on all valid instances
+	}
+	// Freshen q2 apart from the chased q1 to avoid variable capture.
+	avoid := res.Query.BoundVars()
+	q2f := q2.RenameVars(core.FreshRenaming("h_", avoid))
+	cn := chase.NewCanon(res.Query)
+	homs := cn.HomsOfQueryInto(q2f, res.Query.Out, 1)
+	return len(homs) > 0, nil
+}
+
+// Equivalent is the exported chase-based equivalence test under
+// dependencies.
+func Equivalent(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
+	return equivalent(q1, q2, deps, opts)
+}
+
+// Contained is the exported chase-based containment test under
+// dependencies: Q1 ⊑ Q2.
+func Contained(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
+	return contained(q1, q2, deps, opts)
+}
+
+// BruteForceMinimal enumerates all subsets of q's bindings directly
+// (exponential!) and returns the minimal equivalent subqueries. It is the
+// reference implementation used to validate Theorem 2 in tests and the E7
+// experiment; use Enumerate in production.
+func BruteForceMinimal(q *core.Query, deps []*core.Dependency, opts Options) ([]*core.Query, error) {
+	opts = opts.withDefaults()
+	n := len(q.Bindings)
+	if n > 20 {
+		return nil, fmt.Errorf("backchase: brute force limited to 20 bindings, got %d", n)
+	}
+	type cand struct {
+		q    *core.Query
+		size int
+	}
+	var equivalents []cand
+	for mask := 0; mask < (1 << n); mask++ {
+		removed := map[string]bool{}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				removed[q.Bindings[i].Var] = true
+			}
+		}
+		if len(removed) == n {
+			continue
+		}
+		sub, ok := Subquery(q, removed)
+		if !ok {
+			continue
+		}
+		// The cascade may have removed more than the mask requested; skip
+		// duplicates via signature dedup below.
+		eq, err := equivalent(sub, q, deps, opts.Chase)
+		if err != nil {
+			if _, budget := err.(*chase.ErrBudget); budget {
+				continue
+			}
+			return nil, err
+		}
+		if eq {
+			equivalents = append(equivalents, cand{q: sub, size: len(sub.Bindings)})
+		}
+	}
+	// Keep the minimal ones: no strictly smaller equivalent subquery of
+	// them exists in the set. Minimality per the paper: a query is minimal
+	// if no strict subquery (fewer bindings) of it is equivalent. Here all
+	// candidates are equivalent subqueries of q; a candidate is minimal if
+	// no other candidate is a strict subquery of it.
+	var minimal []*core.Query
+	seen := map[string]bool{}
+	for _, c := range equivalents {
+		isMin := true
+		for _, d := range equivalents {
+			if d.size < c.size && isSubquerySet(d.q, c.q) {
+				isMin = false
+				break
+			}
+		}
+		if !isMin {
+			continue
+		}
+		sig := c.q.NormalizeBindingOrder().Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			minimal = append(minimal, c.q)
+		}
+	}
+	return minimal, nil
+}
+
+// isSubquerySet reports whether small's bindings embed into big's bindings
+// by variable name (both derive from the same original query, so shared
+// variables identify bindings).
+func isSubquerySet(small, big *core.Query) bool {
+	bigVars := big.BoundVars()
+	for _, b := range small.Bindings {
+		if !bigVars[b.Var] {
+			return false
+		}
+	}
+	return true
+}

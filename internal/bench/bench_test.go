@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tb, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if tb.ID != e.ID {
+				t.Errorf("table id = %s, want %s", tb.ID, e.ID)
+			}
+			if len(tb.Rows) == 0 {
+				t.Errorf("%s produced no rows", e.ID)
+			}
+			s := tb.String()
+			if !strings.Contains(s, e.ID) {
+				t.Errorf("%s render missing id:\n%s", e.ID, s)
+			}
+			t.Logf("\n%s", s)
+		})
+	}
+}
+
+func TestE1FindsAllPaperPlans(t *testing.T) {
+	tb, err := E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[1] == "NOT FOUND" {
+			t.Errorf("plan %s not found", row[0])
+		}
+	}
+}
+
+func TestE7AllAgree(t *testing.T) {
+	tb, err := E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[4] != "true" {
+			t.Errorf("completeness mismatch at chain %s", row[0])
+		}
+	}
+}
+
+func TestE3AlwaysMinimizesToTwo(t *testing.T) {
+	tb, err := E3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "2" {
+			t.Errorf("chain %s minimized to %s bindings, want 2", row[0], row[1])
+		}
+	}
+}
+
+func TestE11JoinElimination(t *testing.T) {
+	tb, err := E11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows[0][1] != "1" {
+		t.Errorf("with constraints: %s bindings, want 1", tb.Rows[0][1])
+	}
+	if tb.Rows[1][1] != "2" {
+		t.Errorf("without constraints: %s bindings, want 2", tb.Rows[1][1])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "X",
+		Title:   "test",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"note text"},
+	}
+	s := tb.String()
+	for _, frag := range []string{"== X: test ==", "long-column", "333", "note: note text"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("render missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRedundantChainShape(t *testing.T) {
+	q := redundantChain(4)
+	if len(q.Bindings) != 4 || len(q.Conds) != 3 {
+		t.Errorf("chain shape wrong: %s", q)
+	}
+	if err := q.Validate(); err != nil {
+		t.Error(err)
+	}
+}

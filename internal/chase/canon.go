@@ -1,0 +1,211 @@
+// Package chase implements the chase of path-conjunctive queries with
+// embedded path-conjunctive dependencies (EPCDs), the first phase of the
+// chase & backchase optimization method of Deutsch, Popa, Tannen
+// (VLDB 1999).
+//
+// The chase views a query through its canonical database: the terms of the
+// query grouped into congruence classes by the where-clause equalities,
+// plus one membership fact per from-clause binding. A dependency applies
+// when its premise maps homomorphically into the canonical database but
+// the conclusion does not extend the map; applying it adds the conclusion
+// (bindings and conditions) under the homomorphism. The fixpoint is the
+// universal plan.
+package chase
+
+import (
+	"sort"
+
+	"cnb/internal/congruence"
+	"cnb/internal/core"
+)
+
+// Canon is the canonical database of a query: its congruence closure plus
+// the membership facts contributed by the from clause.
+type Canon struct {
+	Q  *core.Query
+	CC *congruence.Closure
+}
+
+// NewCanon builds the canonical database of a query.
+func NewCanon(q *core.Query) *Canon {
+	cc := congruence.New()
+	for _, t := range q.AllTerms() {
+		cc.Add(t)
+	}
+	for _, c := range q.Conds {
+		cc.Merge(c.L, c.R)
+	}
+	return &Canon{Q: q, CC: cc}
+}
+
+// Hom is a homomorphism: a mapping from source variables to target terms
+// (in practice target binding variables) such that memberships and
+// conditions of the source hold in the target's canonical database.
+type Hom map[string]*core.Term
+
+// Clone copies the homomorphism.
+func (h Hom) Clone() Hom {
+	n := make(Hom, len(h))
+	for k, v := range h {
+		n[k] = v
+	}
+	return n
+}
+
+// subst converts the homomorphism into a term substitution.
+func (h Hom) subst() map[string]*core.Term { return h }
+
+// Apply applies the homomorphism to a term.
+func (h Hom) Apply(t *core.Term) *core.Term { return t.Subst(h.subst()) }
+
+// Key returns a canonical string for deduplicating homomorphisms.
+func (h Hom) Key() string {
+	keys := make([]string, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "->" + h[k].HashKey() + ";"
+	}
+	return s
+}
+
+// Holds reports whether the condition, transported along h, is implied by
+// the canonical database.
+func (cn *Canon) Holds(h Hom, c core.Cond) bool {
+	return cn.CC.Same(h.Apply(c.L), h.Apply(c.R))
+}
+
+// FindHoms enumerates homomorphisms of the given source bindings and
+// conditions into the canonical database, starting from the partial
+// assignment init (which may be nil). Each source binding variable is
+// mapped to some target binding variable whose range is congruent to the
+// (transported) source range. At most limit homomorphisms are returned
+// (limit <= 0 means no limit).
+func (cn *Canon) FindHoms(srcBindings []core.Binding, srcConds []core.Cond, init Hom, limit int) []Hom {
+	var out []Hom
+	cn.VisitHoms(srcBindings, srcConds, init, func(h Hom) bool {
+		out = append(out, h.Clone())
+		return limit > 0 && len(out) >= limit
+	})
+	return out
+}
+
+// VisitHoms streams homomorphisms to the visitor, stopping when the
+// visitor returns true. It avoids materializing the full (possibly
+// exponential) homomorphism set when the caller needs only the first
+// match — the chase's applicability test is the hot path.
+func (cn *Canon) VisitHoms(srcBindings []core.Binding, srcConds []core.Cond, init Hom, visit func(Hom) bool) {
+	h := Hom{}
+	for k, v := range init {
+		h[k] = v
+	}
+	var rec func(i int) bool // returns true to stop early
+	rec = func(i int) bool {
+		if i == len(srcBindings) {
+			for _, c := range srcConds {
+				if !cn.Holds(h, c) {
+					return false
+				}
+			}
+			return visit(h)
+		}
+		sb := srcBindings[i]
+		if _, pre := h[sb.Var]; pre {
+			// Variable pre-assigned by init: verify membership — some
+			// target binding must have a congruent range and a congruent
+			// variable.
+			want := h.Apply(sb.Range)
+			ok := false
+			got := h[sb.Var]
+			for _, tb := range cn.Q.Bindings {
+				if cn.CC.Same(tb.Range, want) && cn.CC.Same(core.V(tb.Var), got) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+			return rec(i + 1)
+		}
+		// Substitute the source range once; deeper recursion levels can
+		// trigger congruence merges, so representatives are re-resolved
+		// per candidate (cheap: the term is already interned).
+		want := h.Apply(sb.Range)
+		for _, tb := range cn.Q.Bindings {
+			if cn.CC.Rep(tb.Range) != cn.CC.Rep(want) {
+				continue
+			}
+			h[sb.Var] = core.V(tb.Var)
+			// Early condition pruning: check conditions all of whose
+			// variables are assigned.
+			if cn.condsOK(h, srcConds) {
+				if rec(i + 1) {
+					return true
+				}
+			}
+			delete(h, sb.Var)
+		}
+		return false
+	}
+	rec(0)
+}
+
+// condsOK checks the conditions whose variables are fully assigned by h.
+func (cn *Canon) condsOK(h Hom, conds []core.Cond) bool {
+	for _, c := range conds {
+		if !assigned(h, c.L) || !assigned(h, c.R) {
+			continue
+		}
+		if !cn.Holds(h, c) {
+			return false
+		}
+	}
+	return true
+}
+
+func assigned(h Hom, t *core.Term) bool {
+	for v := range t.Vars() {
+		if _, ok := h[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ExtendsToConclusion reports whether the homomorphism of a dependency's
+// premise extends to its conclusion inside the canonical database: there
+// is an assignment of the conclusion variables to target bindings making
+// all conclusion conditions hold.
+func (cn *Canon) ExtendsToConclusion(d *core.Dependency, h Hom) bool {
+	if d.IsEGD() {
+		for _, c := range d.ConclusionConds {
+			if !cn.Holds(h, c) {
+				return false
+			}
+		}
+		return true
+	}
+	ext := cn.FindHoms(d.Conclusion, d.ConclusionConds, h, 1)
+	return len(ext) > 0
+}
+
+// HomsOfQueryInto enumerates containment mappings from query src into this
+// canonical database: homomorphisms of src's bindings and conditions whose
+// transported output is congruent to out. Used for containment checks.
+func (cn *Canon) HomsOfQueryInto(src *core.Query, out *core.Term, limit int) []Hom {
+	homs := cn.FindHoms(src.Bindings, src.Conds, nil, 0)
+	var ok []Hom
+	for _, h := range homs {
+		if cn.CC.Same(h.Apply(src.Out), out) {
+			ok = append(ok, h)
+			if limit > 0 && len(ok) >= limit {
+				break
+			}
+		}
+	}
+	return ok
+}

@@ -1,0 +1,219 @@
+package chase
+
+import (
+	"fmt"
+
+	"cnb/internal/core"
+)
+
+// Options tunes the chase fixpoint.
+type Options struct {
+	// MaxSteps bounds the number of applied chase steps. The paper shows
+	// the chase with full dependencies applies only polynomially many
+	// steps; the bound is a safety net for non-full sets. Zero means the
+	// default (256).
+	MaxSteps int
+	// MaxBindings aborts if the chased query grows beyond this many
+	// bindings (runaway non-terminating chase). Zero means default (512).
+	MaxBindings int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 256
+	}
+	if o.MaxBindings == 0 {
+		o.MaxBindings = 512
+	}
+	return o
+}
+
+// Step records one applied chase step for diagnostics.
+type Step struct {
+	Dep string // dependency name
+	Hom Hom    // premise homomorphism it fired under
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	Query *core.Query
+	Steps []Step
+	// Inconsistent is set when an EGD attempted to equate two distinct
+	// constants: no database satisfies the dependencies and the query
+	// facts simultaneously, so the query is empty on all valid instances.
+	Inconsistent bool
+}
+
+// ErrBudget is returned when the chase exceeds its step or size budget
+// without reaching a fixpoint.
+type ErrBudget struct {
+	Steps    int
+	Bindings int
+}
+
+func (e *ErrBudget) Error() string {
+	return fmt.Sprintf("chase: budget exhausted after %d steps (%d bindings); dependency set may not terminate", e.Steps, e.Bindings)
+}
+
+// Chase runs the standard chase of q with the dependencies to fixpoint:
+// while some dependency has a premise homomorphism into the canonical
+// database of the current query that does not extend to its conclusion,
+// apply it. Returns the chased query (the universal plan when the
+// dependency set captures the physical schema).
+//
+// EGDs are applied with priority over TGDs (the standard chase
+// discipline): deriving equalities first keeps existential conclusions
+// satisfiable by existing bindings and so keeps the universal plan small.
+//
+// The canonical database is grown incrementally: chase steps only add
+// bindings and conditions, and the congruence closure is monotone, so it
+// is never rebuilt.
+//
+// The input query is not modified.
+func Chase(q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	cur := q.Clone()
+	res := &Result{}
+	egds, tgds := splitEGDs(deps)
+	cn := NewCanon(cur)
+	for steps := 0; ; steps++ {
+		if steps >= opts.MaxSteps {
+			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings)}
+		}
+		if len(cur.Bindings) > opts.MaxBindings {
+			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings)}
+		}
+		if _, _, clash := cn.CC.ConstantClash(); clash {
+			res.Query = cur
+			res.Inconsistent = true
+			return res, nil
+		}
+		dep, hom := findApplicable(cn, egds)
+		if dep == nil {
+			dep, hom = findApplicable(cn, tgds)
+		}
+		if dep == nil {
+			res.Query = cur
+			return res, nil
+		}
+		next := applyStep(cur, dep, hom)
+		// Extend the canonical database with the new facts only.
+		for _, b := range next.Bindings[len(cur.Bindings):] {
+			cn.CC.Add(b.Range)
+			cn.CC.Add(core.V(b.Var))
+		}
+		for _, c := range next.Conds[len(cur.Conds):] {
+			cn.CC.Merge(c.L, c.R)
+		}
+		cur = next
+		cn.Q = cur
+		res.Steps = append(res.Steps, Step{Dep: dep.Name, Hom: hom})
+	}
+}
+
+func splitEGDs(deps []*core.Dependency) (egds, tgds []*core.Dependency) {
+	for _, d := range deps {
+		if d.IsEGD() {
+			egds = append(egds, d)
+		} else {
+			tgds = append(tgds, d)
+		}
+	}
+	return egds, tgds
+}
+
+// findApplicable returns the first dependency (in order) with a premise
+// homomorphism that does not extend to its conclusion, together with that
+// homomorphism. Determinism: dependencies are scanned in slice order and
+// homomorphisms in the backtracking order of VisitHoms. The search streams
+// homomorphisms and stops at the first applicable one.
+func findApplicable(cn *Canon, deps []*core.Dependency) (*core.Dependency, Hom) {
+	for _, d := range deps {
+		var found Hom
+		cn.VisitHoms(d.Premise, d.PremiseConds, nil, func(h Hom) bool {
+			if !cn.ExtendsToConclusion(d, h) {
+				found = h.Clone()
+				return true
+			}
+			return false
+		})
+		if found != nil {
+			return d, found
+		}
+	}
+	return nil, nil
+}
+
+// applyStep applies one chase step, returning the extended query. For a
+// TGD it adds the conclusion bindings (with fresh variables) and
+// conditions; for an EGD it adds the equalities. Constant clashes caused
+// by EGDs are detected by the caller on the next iteration's canonical
+// database.
+func applyStep(q *core.Query, d *core.Dependency, h Hom) *core.Query {
+	next := q.Clone()
+	if d.IsEGD() {
+		for _, c := range d.ConclusionConds {
+			next.Conds = append(next.Conds, core.Cond{L: h.Apply(c.L), R: h.Apply(c.R)})
+		}
+		return next
+	}
+	// Freshen the conclusion variables against the query's bound vars.
+	avoid := q.BoundVars()
+	for v := range h {
+		avoid[v] = true
+	}
+	fresh := core.FreshRenaming("", avoid)
+	sub := h.Clone()
+	for _, b := range d.Conclusion {
+		nv := fresh(b.Var)
+		next.Bindings = append(next.Bindings, core.Binding{
+			Var:   nv,
+			Range: b.Range.Subst(sub),
+		})
+		sub[b.Var] = core.V(nv)
+	}
+	for _, c := range d.ConclusionConds {
+		next.Conds = append(next.Conds, core.Cond{L: c.L.Subst(sub), R: c.R.Subst(sub)})
+	}
+	return next
+}
+
+// Applicable reports whether any dependency is applicable to the query —
+// i.e. whether the query is not yet a chase fixpoint.
+func Applicable(q *core.Query, deps []*core.Dependency) bool {
+	cn := NewCanon(q)
+	d, _ := findApplicable(cn, deps)
+	return d != nil
+}
+
+// Implies decides whether the dependency d is implied by the set deps,
+// using the chase: view d's premise as a boolean query, chase it with
+// deps, and test whether d's conclusion holds in the result (§3: "trying
+// to see whether the constraint is implied by the existing ones can be
+// done with the chase when constraints are viewed as boolean-valued
+// queries"). Sound always; complete when the chase terminates.
+func Implies(deps []*core.Dependency, d *core.Dependency, opts Options) (bool, error) {
+	pq := d.PremiseQuery()
+	res, err := Chase(pq, deps, opts)
+	if err != nil {
+		return false, err
+	}
+	if res.Inconsistent {
+		// Premise unsatisfiable: implication holds vacuously.
+		return true, nil
+	}
+	cn := NewCanon(res.Query)
+	// Identity on the premise variables.
+	id := Hom{}
+	for _, b := range d.Premise {
+		id[b.Var] = core.V(b.Var)
+	}
+	return cn.ExtendsToConclusion(d, id), nil
+}
+
+// Trivial reports whether the dependency holds in all instances (is
+// implied by the empty set of dependencies). Backchasing by virtue of
+// trivial constraints is exactly tableau minimization (§3).
+func Trivial(d *core.Dependency, opts Options) (bool, error) {
+	return Implies(nil, d, opts)
+}

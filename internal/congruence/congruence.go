@@ -1,0 +1,528 @@
+// Package congruence implements congruence closure over path terms.
+//
+// The chase and backchase reason about a query through its canonical
+// database: the terms occurring in the query, grouped into congruence
+// classes according to the equalities of the where clause (§3 of Deutsch,
+// Popa, Tannen, VLDB 1999). This package maintains those classes under
+// three axiom schemes:
+//
+//  1. Congruence: if the children of two nodes with the same operator are
+//     pairwise equal, the nodes are equal (covers P.A, dom(P), P[k] —
+//     so k = k' implies M[k] = M[k'], the functional reading of
+//     dictionaries).
+//  2. Constructor injectivity: struct(A: s, B: t) = struct(A: s', B: t')
+//     implies s = s' and t = t'.
+//  3. Beta: if x = struct(..., A: t, ...) then x.A = t.
+//
+// The closure is monotone: terms can be added and equalities asserted, but
+// never retracted. Build a fresh closure per query.
+package congruence
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"cnb/internal/core"
+)
+
+type node struct {
+	term *core.Term
+	// op is the operator tag: leaves use the full HashKey; interior nodes
+	// use "proj:<field>", "dom", "lk", "lknf", "struct:<f1>,<f2>,...".
+	op string
+	// args are node ids of children, in order.
+	args []int
+	// fieldNames holds struct field names (parallel to args) when the
+	// node is a struct constructor.
+	fieldNames []string
+}
+
+// Closure is a congruence closure over a growing set of terms.
+type Closure struct {
+	nodes  []node
+	byKey  map[string]int // term HashKey -> node id
+	parent []int
+	rank   []int
+
+	sigTable  map[string]int // current signature -> node id
+	parentsOf map[int][]int  // class rep -> ids of nodes with a child in the class
+	structsIn map[int][]int  // class rep -> struct-constructor nodes in the class
+	projsOn   map[int][]int  // class rep -> projection nodes whose base is in the class
+
+	pending [][2]int
+}
+
+// New returns an empty closure.
+func New() *Closure {
+	return &Closure{
+		byKey:     make(map[string]int),
+		sigTable:  make(map[string]int),
+		parentsOf: make(map[int][]int),
+		structsIn: make(map[int][]int),
+		projsOn:   make(map[int][]int),
+	}
+}
+
+// Add interns the term (and all its subterms) and returns its node id.
+// Adding an already-present term is cheap and returns the existing id.
+func (c *Closure) Add(t *core.Term) int {
+	id := c.intern(t)
+	c.drain()
+	return id
+}
+
+func (c *Closure) intern(t *core.Term) int {
+	key := t.HashKey()
+	if id, ok := c.byKey[key]; ok {
+		return id
+	}
+	var n node
+	n.term = t
+	switch t.Kind {
+	case core.KVar, core.KConst, core.KName:
+		n.op = key
+	case core.KProj:
+		n.op = "proj:" + t.Name
+		n.args = []int{c.intern(t.Base)}
+	case core.KDom:
+		n.op = "dom"
+		n.args = []int{c.intern(t.Base)}
+	case core.KLookup:
+		if t.NonFailing {
+			n.op = "lknf"
+		} else {
+			n.op = "lk"
+		}
+		n.args = []int{c.intern(t.Base), c.intern(t.Key)}
+	case core.KStruct:
+		names := make([]string, len(t.Fields))
+		args := make([]int, len(t.Fields))
+		for i, f := range t.Fields {
+			names[i] = f.Name
+			args[i] = c.intern(f.Term)
+		}
+		n.op = "struct:" + strings.Join(names, ",")
+		n.args = args
+		n.fieldNames = names
+	}
+	id := len(c.nodes)
+	c.nodes = append(c.nodes, n)
+	c.parent = append(c.parent, id)
+	c.rank = append(c.rank, 0)
+	c.byKey[key] = id
+
+	// Register with parents-of lists and the signature table.
+	for _, a := range n.args {
+		ra := c.find(a)
+		c.parentsOf[ra] = append(c.parentsOf[ra], id)
+	}
+	sig := c.signature(id)
+	if other, ok := c.sigTable[sig]; ok && c.find(other) != id {
+		c.pending = append(c.pending, [2]int{id, other})
+	} else {
+		c.sigTable[sig] = id
+	}
+
+	// Axiom bookkeeping.
+	if t.Kind == core.KStruct {
+		r := c.find(id)
+		c.structsIn[r] = append(c.structsIn[r], id)
+		c.fireBeta(r)
+	}
+	if t.Kind == core.KProj {
+		rb := c.find(n.args[0])
+		c.projsOn[rb] = append(c.projsOn[rb], id)
+		c.fireBeta(rb)
+	}
+	return id
+}
+
+// signature computes the current congruence signature of a node.
+func (c *Closure) signature(id int) string {
+	n := &c.nodes[id]
+	if len(n.args) == 0 {
+		return n.op
+	}
+	var b strings.Builder
+	b.WriteString(n.op)
+	b.WriteByte('(')
+	for i, a := range n.args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c.find(a)))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (c *Closure) find(x int) int {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+// fireBeta merges x.A with t whenever the class r contains both a struct
+// constructor struct(..., A: t, ...) and is the base class of a projection
+// x.A.
+func (c *Closure) fireBeta(r int) {
+	projs := c.projsOn[r]
+	structs := c.structsIn[r]
+	if len(projs) == 0 || len(structs) == 0 {
+		return
+	}
+	for _, p := range projs {
+		field := strings.TrimPrefix(c.nodes[p].op, "proj:")
+		for _, s := range structs {
+			sn := &c.nodes[s]
+			for i, fn := range sn.fieldNames {
+				if fn == field {
+					c.pending = append(c.pending, [2]int{p, sn.args[i]})
+				}
+			}
+		}
+	}
+}
+
+// union merges the classes of two node ids and enqueues consequences.
+func (c *Closure) union(a, b int) {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	if c.rank[ra] < c.rank[rb] {
+		ra, rb = rb, ra
+	}
+	// rb is absorbed into ra.
+	c.parent[rb] = ra
+	if c.rank[ra] == c.rank[rb] {
+		c.rank[ra]++
+	}
+
+	// Recompute signatures of nodes that used a member of rb as a child.
+	moved := c.parentsOf[rb]
+	delete(c.parentsOf, rb)
+	for _, p := range moved {
+		sig := c.signature(p)
+		if other, ok := c.sigTable[sig]; ok && c.find(other) != c.find(p) {
+			c.pending = append(c.pending, [2]int{p, other})
+		} else {
+			c.sigTable[sig] = p
+		}
+	}
+	c.parentsOf[ra] = append(c.parentsOf[ra], moved...)
+
+	// Constructor injectivity across the merged class.
+	sA := c.structsIn[ra]
+	sB := c.structsIn[rb]
+	delete(c.structsIn, rb)
+	for _, x := range sA {
+		for _, y := range sB {
+			nx, ny := &c.nodes[x], &c.nodes[y]
+			if nx.op == ny.op { // same field-name list
+				for i := range nx.args {
+					c.pending = append(c.pending, [2]int{nx.args[i], ny.args[i]})
+				}
+			}
+		}
+	}
+	c.structsIn[ra] = append(sA, sB...)
+
+	// Beta across the merged class.
+	pB := c.projsOn[rb]
+	delete(c.projsOn, rb)
+	c.projsOn[ra] = append(c.projsOn[ra], pB...)
+	c.fireBeta(ra)
+}
+
+func (c *Closure) drain() {
+	for len(c.pending) > 0 {
+		p := c.pending[len(c.pending)-1]
+		c.pending = c.pending[:len(c.pending)-1]
+		c.union(p[0], p[1])
+	}
+}
+
+// Merge asserts the equality of two terms (interning them if needed) and
+// propagates all consequences.
+func (c *Closure) Merge(a, b *core.Term) {
+	ia := c.intern(a)
+	ib := c.intern(b)
+	c.pending = append(c.pending, [2]int{ia, ib})
+	c.drain()
+}
+
+// Same reports whether two terms are in the same congruence class. Both
+// terms are interned if not yet present (which cannot change existing
+// classes, only extend them with derived consequences of the axioms).
+func (c *Closure) Same(a, b *core.Term) bool {
+	ia := c.intern(a)
+	ib := c.intern(b)
+	c.drain()
+	return c.find(ia) == c.find(ib)
+}
+
+// Contains reports whether the term has already been interned.
+func (c *Closure) Contains(t *core.Term) bool {
+	_, ok := c.byKey[t.HashKey()]
+	return ok
+}
+
+// ID returns the node id of an interned term and whether it is present.
+func (c *Closure) ID(t *core.Term) (int, bool) {
+	id, ok := c.byKey[t.HashKey()]
+	return id, ok
+}
+
+// Rep returns the class representative id for the term, interning it if
+// necessary.
+func (c *Closure) Rep(t *core.Term) int {
+	id := c.intern(t)
+	c.drain()
+	return c.find(id)
+}
+
+// ClassMembers returns every interned term in the same class as t, sorted
+// by HashKey for determinism. t itself is included.
+func (c *Closure) ClassMembers(t *core.Term) []*core.Term {
+	r := c.Rep(t)
+	var out []*core.Term
+	for id := range c.nodes {
+		if c.find(id) == r {
+			out = append(out, c.nodes[id].term)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HashKey() < out[j].HashKey() })
+	return out
+}
+
+// Terms returns all interned terms in insertion order.
+func (c *Closure) Terms() []*core.Term {
+	out := make([]*core.Term, len(c.nodes))
+	for i := range c.nodes {
+		out[i] = c.nodes[i].term
+	}
+	return out
+}
+
+// Len returns the number of interned terms.
+func (c *Closure) Len() int { return len(c.nodes) }
+
+// Classes returns the congruence classes as slices of terms, each sorted
+// by HashKey, the classes sorted by their first member. Useful for
+// diagnostics and deterministic output.
+func (c *Closure) Classes() [][]*core.Term {
+	groups := make(map[int][]*core.Term)
+	for id := range c.nodes {
+		r := c.find(id)
+		groups[r] = append(groups[r], c.nodes[id].term)
+	}
+	out := make([][]*core.Term, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].HashKey() < g[j].HashKey() })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].HashKey() < out[j][0].HashKey() })
+	return out
+}
+
+// RewriteVariants returns distinct terms congruent to t that avoid the
+// given variables: every interned class member free of them, plus the
+// structural rebuild of t with rewritten children (which can produce terms
+// outside the interned universe, e.g. I[i].CustName from p.CustName when
+// p = I[i]). The variants are deduplicated and sorted by HashKey. An empty
+// result means t cannot be re-expressed.
+//
+// The backchase needs these derived terms: the paper's plan P4 carries the
+// condition I[j.PN].CustName = "CitiBank", whose left side never occurs
+// syntactically in the universal plan.
+func (c *Closure) RewriteVariants(t *core.Term, avoid map[string]bool) []*core.Term {
+	seen := map[string]bool{}
+	var out []*core.Term
+	add := func(u *core.Term) {
+		k := u.HashKey()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, u)
+		}
+	}
+	if !t.MentionsAnyVar(avoid) {
+		add(t)
+	}
+	if c.Contains(t) {
+		for _, m := range c.ClassMembers(t) {
+			if !m.MentionsAnyVar(avoid) {
+				add(m)
+			}
+		}
+	}
+	if r, ok := c.Rewrite(t, avoid); ok {
+		add(r)
+	}
+	// The structural rebuild must be offered even when an interned class
+	// member exists: p.CustName with p = I[i] yields I[i].CustName, which
+	// typically has no interned equivalent.
+	if r, ok := c.rewriteStructural(t, avoid); ok {
+		add(r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HashKey() < out[j].HashKey() })
+	return out
+}
+
+// rewriteStructural rebuilds t bottom-up, rewriting each child, without
+// first consulting t's own congruence class.
+func (c *Closure) rewriteStructural(t *core.Term, avoid map[string]bool) (*core.Term, bool) {
+	return c.rebuildChildren(t, avoid, map[string]bool{t.HashKey(): true})
+}
+
+// ConstantClash returns a pair of distinct constants that have been forced
+// into the same congruence class, if any. A clash means no instance
+// satisfies the asserted equalities (the chase reports the query as
+// unsatisfiable / empty).
+func (c *Closure) ConstantClash() (a, b *core.Term, clash bool) {
+	reps := make(map[int]*core.Term)
+	for id := range c.nodes {
+		t := c.nodes[id].term
+		if t.Kind != core.KConst {
+			continue
+		}
+		r := c.find(id)
+		if prev, ok := reps[r]; ok {
+			if !prev.Equal(t) {
+				return prev, t, true
+			}
+			continue
+		}
+		reps[r] = t
+	}
+	return nil, nil, false
+}
+
+// Rewrite attempts to produce a term congruent to t that mentions none of
+// the variables in avoid. It prefers an interned class member free of the
+// avoided variables; otherwise it rebuilds t (or a class member of t)
+// recursively with rewritten children. Returns (term, true) on success.
+//
+// This is the procedure of the backchase step: re-express the output and
+// the conditions of the query without the eliminated binding (§3,
+// conditions (1) and (2)). The member-rebuild case matters for chains like
+// d = Dept[dd], dd = j.DOID: rewriting the bare variable d away from
+// {d, dd} yields Dept[j.DOID].
+func (c *Closure) Rewrite(t *core.Term, avoid map[string]bool) (*core.Term, bool) {
+	return c.rewrite(t, avoid, map[string]bool{})
+}
+
+// rewrite is Rewrite with a cycle guard: busy holds the HashKeys of terms
+// currently being rewritten higher up the recursion, so mutually congruent
+// compound terms cannot recurse forever.
+func (c *Closure) rewrite(t *core.Term, avoid, busy map[string]bool) (*core.Term, bool) {
+	if !t.MentionsAnyVar(avoid) {
+		return t, true
+	}
+	key := t.HashKey()
+	if busy[key] {
+		return nil, false
+	}
+	busy[key] = true
+	defer delete(busy, key)
+
+	if c.Contains(t) {
+		for _, m := range c.ClassMembers(t) {
+			if !m.MentionsAnyVar(avoid) {
+				return m, true
+			}
+		}
+	}
+	if r, ok := c.rebuildChildren(t, avoid, busy); ok {
+		return r, true
+	}
+	if c.Contains(t) {
+		for _, m := range c.ClassMembers(t) {
+			if m.HashKey() == key {
+				continue
+			}
+			if r, ok := c.rebuildChildren(m, avoid, busy); ok {
+				return r, true
+			}
+		}
+	}
+	// Inverse beta: if some struct constructor struct(..., F: u, ...) with
+	// u ≡ t has a congruent non-constructor member X expressible without
+	// the avoided variables, then t ≡ X.F. This is how gmap and view
+	// entries re-express base-row fields: from e = struct(B: r.B, C: r.C),
+	// rewriting r.B away from r yields e.B.
+	if tid, ok := c.byKey[key]; ok {
+		tr := c.find(tid)
+		for id := 0; id < len(c.nodes); id++ {
+			n := &c.nodes[id]
+			if n.term.Kind != core.KStruct {
+				continue
+			}
+			for i, fname := range n.fieldNames {
+				if c.find(n.args[i]) != tr {
+					continue
+				}
+				for _, m := range c.ClassMembers(n.term) {
+					if m.Kind == core.KStruct {
+						continue
+					}
+					if r, ok := c.rewrite(m, avoid, busy); ok {
+						return core.Prj(r, fname), true
+					}
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// rebuildChildren reconstructs t with every child rewritten to avoid the
+// given variables. Leaves that still mention avoided variables fail.
+func (c *Closure) rebuildChildren(t *core.Term, avoid, busy map[string]bool) (*core.Term, bool) {
+	switch t.Kind {
+	case core.KVar:
+		if avoid[t.Name] {
+			return nil, false
+		}
+		return t, true
+	case core.KConst, core.KName:
+		return t, true
+	case core.KProj:
+		b, ok := c.rewrite(t.Base, avoid, busy)
+		if !ok {
+			return nil, false
+		}
+		return core.Prj(b, t.Name), true
+	case core.KDom:
+		b, ok := c.rewrite(t.Base, avoid, busy)
+		if !ok {
+			return nil, false
+		}
+		return core.Dom(b), true
+	case core.KLookup:
+		b, ok := c.rewrite(t.Base, avoid, busy)
+		if !ok {
+			return nil, false
+		}
+		k, ok := c.rewrite(t.Key, avoid, busy)
+		if !ok {
+			return nil, false
+		}
+		nt := &core.Term{Kind: core.KLookup, Base: b, Key: k, NonFailing: t.NonFailing}
+		return nt, true
+	case core.KStruct:
+		fs := make([]core.StructField, len(t.Fields))
+		for i, f := range t.Fields {
+			ft, ok := c.rewrite(f.Term, avoid, busy)
+			if !ok {
+				return nil, false
+			}
+			fs[i] = core.StructField{Name: f.Name, Term: ft}
+		}
+		return core.Struct(fs...), true
+	}
+	return nil, false
+}

@@ -1,0 +1,457 @@
+// Package cost implements the cost model used by step 3 of the paper's
+// Algorithm 1: after the chase and backchase produce the minimal plans,
+// conventional cost-based optimization picks the cheapest.
+//
+// The model is a textbook left-deep nested-loop estimator over the
+// binding order of a PC plan: scans cost the cardinality of the scanned
+// collection, dictionary lookups cost O(1) plus the entry size, dependent
+// ranges multiply by their fanout, and equality conditions reduce
+// downstream multiplicity by a selectivity factor. It deliberately
+// reflects only the physical distinctions the paper relies on — a lookup
+// is unit-cost, a scan is linear — and is calibrated against the engine
+// package's measured executions in the E8 experiment.
+package cost
+
+import (
+	"math"
+	"sort"
+
+	"cnb/internal/core"
+	"cnb/internal/instance"
+)
+
+// Stats holds the statistics consulted by the estimator.
+type Stats struct {
+	// Card maps a schema name to its cardinality: number of elements for
+	// sets, number of keys for dictionaries.
+	Card map[string]float64
+	// EntryFanout maps a dictionary name to the average size of its
+	// set-valued entries (1 for primary indexes and class dictionaries).
+	EntryFanout map[string]float64
+	// FieldFanout maps "field name" to the average cardinality of
+	// set-valued record fields reached by projection (e.g. DProjs -> 5).
+	FieldFanout map[string]float64
+	// Distinct maps "name.field" to the number of distinct values of that
+	// field, used for equality selectivities.
+	Distinct map[string]float64
+	// DefaultSelectivity applies when no Distinct entry matches.
+	DefaultSelectivity float64
+	// LookupCost is the unit cost of one dictionary lookup.
+	LookupCost float64
+	// HashBuildNames lists transient structures (hash tables) whose
+	// construction must be charged once per plan that uses them: cost
+	// Card[name] * EntryFanout[name].
+	HashBuildNames map[string]bool
+}
+
+// NewStats returns empty statistics with sensible defaults.
+func NewStats() *Stats {
+	return &Stats{
+		Card:               map[string]float64{},
+		EntryFanout:        map[string]float64{},
+		FieldFanout:        map[string]float64{},
+		Distinct:           map[string]float64{},
+		DefaultSelectivity: 0.1,
+		LookupCost:         1,
+		HashBuildNames:     map[string]bool{},
+	}
+}
+
+// FromInstance derives statistics from actual data: cardinalities of all
+// bound sets and dictionaries, average entry fanouts, per-field distinct
+// counts of relations, and average set-valued field fanouts.
+func FromInstance(in *instance.Instance) *Stats {
+	s := NewStats()
+	fieldTotals := map[string]float64{}
+	fieldCounts := map[string]float64{}
+	for _, name := range in.Names() {
+		v, _ := in.Lookup(name)
+		switch t := v.(type) {
+		case *instance.Set:
+			s.Card[name] = float64(t.Len())
+			distinct := map[string]map[string]bool{}
+			for _, e := range t.Elems() {
+				st, ok := e.(*instance.Struct)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Names() {
+					fv, _ := st.Field(f)
+					if set, isSet := fv.(*instance.Set); isSet {
+						fieldTotals[f] += float64(set.Len())
+						fieldCounts[f]++
+						continue
+					}
+					if distinct[f] == nil {
+						distinct[f] = map[string]bool{}
+					}
+					distinct[f][fv.Key()] = true
+				}
+			}
+			for f, vals := range distinct {
+				s.Distinct[name+"."+f] = float64(len(vals))
+			}
+		case *instance.Dict:
+			s.Card[name] = float64(t.Len())
+			total, cnt := 0.0, 0.0
+			for _, e := range t.Entries() {
+				if set, ok := e[1].(*instance.Set); ok {
+					total += float64(set.Len())
+					cnt++
+					continue
+				}
+				// Record entries: fanout 1; also collect set fields.
+				if st, ok := e[1].(*instance.Struct); ok {
+					for _, f := range st.Names() {
+						fv, _ := st.Field(f)
+						if set, isSet := fv.(*instance.Set); isSet {
+							fieldTotals[f] += float64(set.Len())
+							fieldCounts[f]++
+						}
+					}
+				}
+				total++
+				cnt++
+			}
+			if cnt > 0 {
+				s.EntryFanout[name] = total / cnt
+			}
+		}
+	}
+	for f, total := range fieldTotals {
+		if fieldCounts[f] > 0 {
+			s.FieldFanout[f] = total / fieldCounts[f]
+		}
+	}
+	return s
+}
+
+func (s *Stats) card(name string) float64 {
+	if c, ok := s.Card[name]; ok {
+		return c
+	}
+	return 1000 // default assumption for unknown collections
+}
+
+func (s *Stats) entryFanout(name string) float64 {
+	if f, ok := s.EntryFanout[name]; ok {
+		return f
+	}
+	return 1
+}
+
+func (s *Stats) fieldFanout(field string) float64 {
+	if f, ok := s.FieldFanout[field]; ok {
+		return f
+	}
+	return 2
+}
+
+// Estimate computes the estimated cost and output cardinality of a plan,
+// evaluating its bindings in the order given (the plan's join order).
+func (s *Stats) Estimate(q *core.Query) (costTotal, outCard float64) {
+	mult := 1.0 // running multiplicity of the loop nest
+	total := 0.0
+
+	// Charge hash-table builds once per structure used.
+	for n := range q.Names() {
+		if s.HashBuildNames[n] {
+			total += s.card(n) * s.entryFanout(n)
+		}
+	}
+
+	// Condition bookkeeping: a condition filters at the first binding
+	// index where all its variables are bound.
+	pos := map[string]int{}
+	for i, b := range q.Bindings {
+		pos[b.Var] = i
+	}
+	readyAt := make([]int, len(q.Conds))
+	for ci, c := range q.Conds {
+		last := -1
+		for v := range c.L.Vars() {
+			if p, ok := pos[v]; ok && p > last {
+				last = p
+			}
+		}
+		for v := range c.R.Vars() {
+			if p, ok := pos[v]; ok && p > last {
+				last = p
+			}
+		}
+		readyAt[ci] = last
+	}
+
+	for i, b := range q.Bindings {
+		scanCost, count := s.rangeCost(b.Range)
+		total += mult * scanCost
+		mult *= count
+		for ci, c := range q.Conds {
+			if readyAt[ci] == i {
+				total += mult * s.condEvalCost(c)
+				mult *= s.selectivity(q, c)
+			}
+		}
+		if mult < 1e-9 {
+			mult = 1e-9
+		}
+	}
+	// Producing each output row costs one unit plus its lookups.
+	total += mult * (1 + s.lookupCount(q.Out)*s.LookupCost)
+	return total, mult
+}
+
+// rangeCost returns (cost of producing the range once, expected number of
+// elements iterated).
+func (s *Stats) rangeCost(r *core.Term) (costOnce, count float64) {
+	switch r.Kind {
+	case core.KName:
+		c := s.card(r.Name)
+		return c, c
+	case core.KDom:
+		if r.Base.Kind == core.KName {
+			c := s.card(r.Base.Name)
+			return c, c
+		}
+		return 100, 100
+	case core.KLookup:
+		// Iterating a (set-valued) dictionary entry: one lookup plus the
+		// bucket scan.
+		name := r.Base.Root()
+		fan := 1.0
+		if name.Kind == core.KName {
+			fan = s.entryFanout(name.Name)
+		}
+		inner := s.lookupCount(r.Key) * s.LookupCost
+		return s.LookupCost + inner + fan, fan
+	case core.KProj:
+		// Dependent range over a set-valued field (e.g. d.DProjs).
+		fan := s.fieldFanout(r.Name)
+		inner := s.lookupCount(r.Base) * s.LookupCost
+		return inner + fan, fan
+	default:
+		return 1, 1
+	}
+}
+
+// condEvalCost charges the dictionary lookups embedded in a condition.
+func (s *Stats) condEvalCost(c core.Cond) float64 {
+	return 0.1 + (s.lookupCount(c.L)+s.lookupCount(c.R))*s.LookupCost
+}
+
+// lookupCount counts lookup operations in a term.
+func (s *Stats) lookupCount(t *core.Term) float64 {
+	if t == nil {
+		return 0
+	}
+	switch t.Kind {
+	case core.KLookup:
+		return 1 + s.lookupCount(t.Base) + s.lookupCount(t.Key)
+	case core.KProj, core.KDom:
+		return s.lookupCount(t.Base)
+	case core.KStruct:
+		n := 0.0
+		for _, f := range t.Fields {
+			n += s.lookupCount(f.Term)
+		}
+		return n
+	}
+	return 0
+}
+
+// selectivity estimates the filtering power of an equality condition.
+func (s *Stats) selectivity(q *core.Query, c core.Cond) float64 {
+	sel := func(t *core.Term) (float64, bool) {
+		// name.field distinct count when t is r.F with r bound to a scan
+		// of a named relation.
+		if t.Kind == core.KProj && t.Base.Kind == core.KVar {
+			for _, b := range q.Bindings {
+				if b.Var == t.Base.Name && b.Range.Kind == core.KName {
+					if d, ok := s.Distinct[b.Range.Name+"."+t.Name]; ok && d > 0 {
+						return 1 / d, true
+					}
+				}
+			}
+		}
+		return 0, false
+	}
+	if c.L.Kind == core.KConst || c.R.Kind == core.KConst {
+		other := c.L
+		if c.L.Kind == core.KConst {
+			other = c.R
+		}
+		if f, ok := sel(other); ok {
+			return f
+		}
+		return s.DefaultSelectivity
+	}
+	// Join condition: 1/max(distinct sides) when known.
+	fl, okL := sel(c.L)
+	fr, okR := sel(c.R)
+	switch {
+	case okL && okR:
+		return math.Min(fl, fr)
+	case okL:
+		return fl
+	case okR:
+		return fr
+	}
+	return s.DefaultSelectivity
+}
+
+// Reorder returns a copy of the plan with its bindings reordered to
+// minimize estimated cost — the paper's "conventional optimization"
+// join-reordering step applied to plans. Plans with at most
+// exhaustiveReorderLimit bindings are ordered by exhaustive search over
+// all valid permutations (backchase output plans are small); larger plans
+// fall back to a greedy heuristic.
+func (s *Stats) Reorder(q *core.Query) *core.Query {
+	n := len(q.Bindings)
+	if n <= 1 {
+		return q.Clone()
+	}
+	if n <= exhaustiveReorderLimit {
+		if best := s.reorderExhaustive(q); best != nil {
+			return best
+		}
+	}
+	return s.reorderGreedy(q)
+}
+
+const exhaustiveReorderLimit = 6
+
+// reorderExhaustive tries every scope-valid binding permutation and keeps
+// the cheapest. Returns nil if no valid order exists (cyclic scoping).
+func (s *Stats) reorderExhaustive(q *core.Query) *core.Query {
+	n := len(q.Bindings)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	order := make([]core.Binding, 0, n)
+	var best *core.Query
+	bestCost := math.Inf(1)
+	var rec func()
+	rec = func() {
+		if len(order) == n {
+			cand := q.Clone()
+			cand.Bindings = append([]core.Binding(nil), order...)
+			c, _ := s.Estimate(cand)
+			if c < bestCost {
+				bestCost = c
+				best = cand
+			}
+			return
+		}
+		for i, b := range q.Bindings {
+			if used[i] {
+				continue
+			}
+			ok := true
+			for v := range b.Range.Vars() {
+				if !bound[v] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			bound[b.Var] = true
+			order = append(order, b)
+			rec()
+			order = order[:len(order)-1]
+			delete(bound, b.Var)
+			used[i] = false
+		}
+	}
+	rec()
+	return best
+}
+
+// reorderGreedy picks, at each step, the valid next binding with the
+// smallest filtered iteration count.
+func (s *Stats) reorderGreedy(q *core.Query) *core.Query {
+	n := len(q.Bindings)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	var order []core.Binding
+	for len(order) < n {
+		best := -1
+		bestCost := math.Inf(1)
+		for i, b := range q.Bindings {
+			if used[i] {
+				continue
+			}
+			ready := true
+			for v := range b.Range.Vars() {
+				if !bound[v] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			// Score: iterate count discounted by conditions that become
+			// checkable once this binding is added.
+			_, count := s.rangeCost(b.Range)
+			score := count
+			trialBound := map[string]bool{b.Var: true}
+			for v := range bound {
+				trialBound[v] = true
+			}
+			for _, c := range q.Conds {
+				if condReady(c, trialBound) && !condReady(c, bound) {
+					score *= s.selectivity(q, c)
+				}
+			}
+			if score < bestCost {
+				bestCost = score
+				best = i
+			}
+		}
+		if best == -1 {
+			return q.Clone() // scoping problem; bail out unchanged
+		}
+		used[best] = true
+		bound[q.Bindings[best].Var] = true
+		order = append(order, q.Bindings[best])
+	}
+	out := q.Clone()
+	out.Bindings = order
+	return out
+}
+
+func condReady(c core.Cond, bound map[string]bool) bool {
+	for v := range c.L.Vars() {
+		if !bound[v] {
+			return false
+		}
+	}
+	for v := range c.R.Vars() {
+		if !bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// RankPlans sorts plans by estimated cost (ascending), reordering each
+// plan's bindings first. Returns the reordered plans with their costs.
+type RankedPlan struct {
+	Query *core.Query
+	Cost  float64
+	Card  float64
+}
+
+// Rank reorders and costs every plan, returning them sorted by cost.
+func (s *Stats) Rank(plans []*core.Query) []RankedPlan {
+	out := make([]RankedPlan, 0, len(plans))
+	for _, p := range plans {
+		r := s.Reorder(p)
+		c, card := s.Estimate(r)
+		out = append(out, RankedPlan{Query: r, Cost: c, Card: card})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost < out[j].Cost })
+	return out
+}

@@ -1,0 +1,248 @@
+// Package engine is the physical execution engine: it compiles a PC plan
+// into a tree of pull-based operators (scans, dictionary lookups, filters,
+// projections, deduplication) and runs it against an instance.
+//
+// Unlike the reference evaluator (package eval), the engine exploits the
+// physical distinctions that motivate the paper: a dictionary lookup is a
+// hash probe, not a scan, so plans like P3 (secondary-index lookup) and P4
+// (join-index navigation) run in time proportional to their result, not to
+// the base data. The E8 experiment measures exactly this difference.
+package engine
+
+import (
+	"fmt"
+
+	"cnb/internal/core"
+	"cnb/internal/eval"
+	"cnb/internal/instance"
+)
+
+// Operator is a pull-based iterator producing environment rows.
+type Operator interface {
+	// Open resets the operator; it must be called before Next.
+	Open() error
+	// Next returns the next row, or nil at end of stream.
+	Next() (eval.Env, error)
+	// Describe renders the operator subtree, for EXPLAIN-style output.
+	Describe(indent string) string
+}
+
+// --- scan over a binding range ------------------------------------------
+
+// bindScan iterates one from-clause binding: for every input row, evaluate
+// the range term (a set: relation scan, dom scan, entry scan or
+// non-failing lookup) and emit the row extended with the binding variable.
+type bindScan struct {
+	in    *instance.Instance
+	child Operator
+	v     string
+	rng   *core.Term
+
+	cur   eval.Env
+	elems []instance.Value
+	pos   int
+	done  bool
+}
+
+func (b *bindScan) Open() error {
+	b.cur = nil
+	b.elems = nil
+	b.pos = 0
+	b.done = false
+	if b.child != nil {
+		return b.child.Open()
+	}
+	return nil
+}
+
+func (b *bindScan) Next() (eval.Env, error) {
+	for {
+		if b.cur == nil {
+			if b.child == nil {
+				if b.done {
+					return nil, nil
+				}
+				b.done = true
+				b.cur = eval.Env{}
+			} else {
+				row, err := b.child.Next()
+				if err != nil {
+					return nil, err
+				}
+				if row == nil {
+					return nil, nil
+				}
+				b.cur = row
+			}
+			val, err := eval.Term(b.rng, b.cur, b.in)
+			if err != nil {
+				return nil, err
+			}
+			set, ok := val.(*instance.Set)
+			if !ok {
+				return nil, fmt.Errorf("engine: range %s is not a set", b.rng)
+			}
+			b.elems = set.Elems()
+			b.pos = 0
+		}
+		if b.pos < len(b.elems) {
+			row := b.cur.Clone()
+			row[b.v] = b.elems[b.pos]
+			b.pos++
+			return row, nil
+		}
+		b.cur = nil
+	}
+}
+
+func (b *bindScan) Describe(indent string) string {
+	kind := "Scan"
+	switch b.rng.Kind {
+	case core.KDom:
+		kind = "DomScan"
+	case core.KLookup:
+		if b.rng.NonFailing {
+			kind = "LookupScan(non-failing)"
+		} else {
+			kind = "LookupScan"
+		}
+	case core.KProj:
+		kind = "PathScan"
+	}
+	s := fmt.Sprintf("%s%s %s as %s\n", indent, kind, b.rng, b.v)
+	if b.child != nil {
+		s += b.child.Describe(indent + "  ")
+	}
+	return s
+}
+
+// --- filter ----------------------------------------------------------------
+
+type filter struct {
+	in    *instance.Instance
+	child Operator
+	conds []core.Cond
+}
+
+func (f *filter) Open() error { return f.child.Open() }
+
+func (f *filter) Next() (eval.Env, error) {
+	for {
+		row, err := f.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		ok := true
+		for _, c := range f.conds {
+			l, err := eval.Term(c.L, row, f.in)
+			if err != nil {
+				return nil, err
+			}
+			r, err := eval.Term(c.R, row, f.in)
+			if err != nil {
+				return nil, err
+			}
+			if l.Key() != r.Key() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+func (f *filter) Describe(indent string) string {
+	s := fmt.Sprintf("%sFilter %v\n", indent, f.conds)
+	return s + f.child.Describe(indent+"  ")
+}
+
+// --- plan --------------------------------------------------------------
+
+// Plan is a compiled, executable query plan.
+type Plan struct {
+	root  Operator
+	out   *core.Term
+	in    *instance.Instance
+	query *core.Query
+}
+
+// Compile builds an operator tree for the plan's binding order: a chain of
+// binding scans with filters placed at the earliest position where their
+// variables are bound (selection pushdown).
+func Compile(q *core.Query, in *instance.Instance) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	pos := map[string]int{}
+	for i, b := range q.Bindings {
+		pos[b.Var] = i
+	}
+	condAt := make([][]core.Cond, len(q.Bindings)+1)
+	for _, c := range q.Conds {
+		last := -1
+		for v := range c.L.Vars() {
+			if p, ok := pos[v]; ok && p > last {
+				last = p
+			}
+		}
+		for v := range c.R.Vars() {
+			if p, ok := pos[v]; ok && p > last {
+				last = p
+			}
+		}
+		condAt[last+1] = append(condAt[last+1], c)
+	}
+	var root Operator
+	// Constant conditions (no variables) become a level-0 filter below.
+	for i, b := range q.Bindings {
+		root = &bindScan{in: in, child: root, v: b.Var, rng: b.Range}
+		if len(condAt[i+1]) > 0 {
+			root = &filter{in: in, child: root, conds: condAt[i+1]}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("engine: plan with no bindings")
+	}
+	if len(condAt[0]) > 0 {
+		root = &filter{in: in, child: root, conds: condAt[0]}
+	}
+	return &Plan{root: root, out: q.Out, in: in, query: q}, nil
+}
+
+// Run executes the plan and returns its result set.
+func (p *Plan) Run() (*instance.Set, error) {
+	if err := p.root.Open(); err != nil {
+		return nil, err
+	}
+	out := instance.NewSet()
+	for {
+		row, err := p.root.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		v, err := eval.Term(p.out, row, p.in)
+		if err != nil {
+			return nil, err
+		}
+		out.Add(v)
+	}
+}
+
+// Explain renders the operator tree.
+func (p *Plan) Explain() string {
+	return fmt.Sprintf("Project %s\n%s", p.out, p.root.Describe("  "))
+}
+
+// Execute compiles and runs a plan in one call.
+func Execute(q *core.Query, in *instance.Instance) (*instance.Set, error) {
+	p, err := Compile(q, in)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}

@@ -1,0 +1,305 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"cnb/internal/core"
+	"cnb/internal/instance"
+)
+
+// tinyInstance builds a small hand-made instance:
+//
+//	R = {(A:1,B:10), (A:2,B:20)}
+//	M = {"x" -> 1, "y" -> 2}
+//	SI = {"c" -> {(A:1,B:10)}}
+func tinyInstance() *instance.Instance {
+	r1 := instance.StructOf("A", instance.Int(1), "B", instance.Int(10))
+	r2 := instance.StructOf("A", instance.Int(2), "B", instance.Int(20))
+	in := instance.NewInstance()
+	in.Bind("R", instance.NewSet(r1, r2))
+	m := instance.NewDict()
+	m.Put(instance.Str("x"), instance.Int(1))
+	m.Put(instance.Str("y"), instance.Int(2))
+	in.Bind("M", m)
+	si := instance.NewDict()
+	si.Put(instance.Str("c"), instance.NewSet(r1))
+	in.Bind("SI", si)
+	return in
+}
+
+func TestTermBasics(t *testing.T) {
+	in := tinyInstance()
+	cases := []struct {
+		term *core.Term
+		want instance.Value
+	}{
+		{core.C(42), instance.Int(42)},
+		{core.C("hi"), instance.Str("hi")},
+		{core.C(true), instance.Bool(true)},
+		{core.C(2.5), instance.Float(2.5)},
+		{core.Lk(core.Name("M"), core.C("x")), instance.Int(1)},
+	}
+	for _, c := range cases {
+		got, err := Term(c.term, Env{}, in)
+		if err != nil {
+			t.Errorf("Term(%s): %v", c.term, err)
+			continue
+		}
+		if got.Key() != c.want.Key() {
+			t.Errorf("Term(%s) = %s, want %s", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermDom(t *testing.T) {
+	in := tinyInstance()
+	got, err := Term(core.Dom(core.Name("M")), Env{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := got.(*instance.Set)
+	if set.Len() != 2 || !set.Contains(instance.Str("x")) || !set.Contains(instance.Str("y")) {
+		t.Errorf("dom(M) = %s", set)
+	}
+}
+
+func TestTermLookupFailing(t *testing.T) {
+	in := tinyInstance()
+	_, err := Term(core.Lk(core.Name("M"), core.C("zz")), Env{}, in)
+	var lf *ErrLookupFailed
+	if !errors.As(err, &lf) {
+		t.Errorf("failing lookup must return ErrLookupFailed, got %v", err)
+	}
+}
+
+func TestTermLookupNonFailing(t *testing.T) {
+	in := tinyInstance()
+	got, err := Term(core.LkNF(core.Name("SI"), core.C("zz")), Env{}, in)
+	if err != nil {
+		t.Fatalf("non-failing lookup must not error: %v", err)
+	}
+	if set, ok := got.(*instance.Set); !ok || set.Len() != 0 {
+		t.Errorf("SI{zz} = %s, want empty set", got)
+	}
+	got, err = Term(core.LkNF(core.Name("SI"), core.C("c")), Env{}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set := got.(*instance.Set); set.Len() != 1 {
+		t.Errorf("SI{c} = %s, want singleton", set)
+	}
+}
+
+func TestTermErrors(t *testing.T) {
+	in := tinyInstance()
+	bad := []*core.Term{
+		core.V("unbound"),
+		core.Name("NoSuch"),
+		core.Prj(core.C(1), "A"),
+		core.Dom(core.Name("R")),
+		core.Lk(core.Name("R"), core.C(1)),
+		core.Prj(core.Lk(core.Name("M"), core.C("x")), "F"),
+	}
+	for _, b := range bad {
+		if _, err := Term(b, Env{}, in); err == nil {
+			t.Errorf("Term(%s) should fail", b)
+		}
+	}
+}
+
+func TestQuerySelection(t *testing.T) {
+	in := tinyInstance()
+	q := &core.Query{
+		Out:      core.Prj(core.V("r"), "B"),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+		Conds:    []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(1)}},
+	}
+	got, err := Query(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := instance.NewSet(instance.Int(10))
+	if !got.Equal(want) {
+		t.Errorf("selection = %s, want %s", got, want)
+	}
+}
+
+func TestQueryJoinAndStructOutput(t *testing.T) {
+	in := tinyInstance()
+	// Self join on A = A (trivially matches each row with itself).
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("X", core.Prj(core.V("p"), "A")),
+			core.SF("Y", core.Prj(core.V("q"), "B")),
+		),
+		Bindings: []core.Binding{
+			{Var: "p", Range: core.Name("R")},
+			{Var: "q", Range: core.Name("R")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("p"), "A"), R: core.Prj(core.V("q"), "A")}},
+	}
+	got, err := Query(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Errorf("join result = %s, want 2 rows", got)
+	}
+}
+
+func TestQuerySetSemantics(t *testing.T) {
+	in := tinyInstance()
+	// Constant output over 2 rows collapses to one.
+	q := &core.Query{
+		Out:      core.C(1),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+	}
+	got, err := Query(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("distinct semantics violated: %s", got)
+	}
+}
+
+func TestQueryDependentRange(t *testing.T) {
+	// Iterate a dictionary through dom + lookup.
+	in := tinyInstance()
+	q := &core.Query{
+		Out: core.Lk(core.Name("M"), core.V("k")),
+		Bindings: []core.Binding{
+			{Var: "k", Range: core.Dom(core.Name("M"))},
+		},
+	}
+	got, err := Query(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := instance.NewSet(instance.Int(1), instance.Int(2))
+	if !got.Equal(want) {
+		t.Errorf("dict iteration = %s, want %s", got, want)
+	}
+}
+
+func TestQueryEagerAgrees(t *testing.T) {
+	in := tinyInstance()
+	queries := []*core.Query{
+		{
+			Out:      core.Prj(core.V("r"), "B"),
+			Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+			Conds:    []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(1)}},
+		},
+		{
+			Out: core.Struct(core.SF("X", core.Prj(core.V("p"), "A"))),
+			Bindings: []core.Binding{
+				{Var: "p", Range: core.Name("R")},
+				{Var: "q", Range: core.Name("R")},
+			},
+			Conds: []core.Cond{{L: core.Prj(core.V("p"), "B"), R: core.Prj(core.V("q"), "B")}},
+		},
+	}
+	for _, q := range queries {
+		a, err := Query(q, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := QueryEager(q, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("eager evaluation differs:\n%s\nvs\n%s", a, b)
+		}
+	}
+}
+
+func TestQueryEagerConstantCondition(t *testing.T) {
+	in := tinyInstance()
+	q := &core.Query{
+		Out:      core.Prj(core.V("r"), "A"),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+		Conds:    []core.Cond{{L: core.C(1), R: core.C(2)}},
+	}
+	got, err := QueryEager(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Error("false constant condition must yield empty result")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	in := tinyInstance()
+	// forall (r in R) exists (k in dom(M)) true — holds (M nonempty).
+	d := &core.Dependency{
+		Premise:    []core.Binding{{Var: "r", Range: core.Name("R")}},
+		Conclusion: []core.Binding{{Var: "k", Range: core.Dom(core.Name("M"))}},
+	}
+	ok, err := Satisfies(d, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("existence dependency should hold")
+	}
+
+	// forall (r in R) r.A = 1 — fails (row with A=2).
+	egd := &core.Dependency{
+		Premise:         []core.Binding{{Var: "r", Range: core.Name("R")}},
+		ConclusionConds: []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(1)}},
+	}
+	ok, err = Satisfies(egd, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("EGD should be violated")
+	}
+}
+
+func TestSatisfiesWithPremiseConds(t *testing.T) {
+	in := tinyInstance()
+	// forall (r in R) r.A = 1 -> r.B = 10 — holds.
+	d := &core.Dependency{
+		Premise:         []core.Binding{{Var: "r", Range: core.Name("R")}},
+		PremiseConds:    []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(1)}},
+		ConclusionConds: []core.Cond{{L: core.Prj(core.V("r"), "B"), R: core.C(10)}},
+	}
+	ok, err := Satisfies(d, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("guarded EGD should hold")
+	}
+}
+
+func TestSatisfiesAll(t *testing.T) {
+	in := tinyInstance()
+	good := &core.Dependency{
+		Name:    "good",
+		Premise: []core.Binding{{Var: "r", Range: core.Name("R")}},
+	}
+	bad := &core.Dependency{
+		Name:            "bad",
+		Premise:         []core.Binding{{Var: "r", Range: core.Name("R")}},
+		ConclusionConds: []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(99)}},
+	}
+	name, err := SatisfiesAll([]*core.Dependency{good, bad}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bad" {
+		t.Errorf("violated = %q, want bad", name)
+	}
+	name, err = SatisfiesAll([]*core.Dependency{good}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("violated = %q, want none", name)
+	}
+}

@@ -1,0 +1,367 @@
+// Package instance implements the runtime value model of the complex
+// value / dictionary data model and in-memory database instances: finite
+// sets, records, dictionaries (finite functions) and base values including
+// opaque oids. Queries are executed against instances by the eval and
+// engine packages; tests use instances to verify that rewritten plans are
+// equivalent to the original queries on real data.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value. Implementations are immutable once built
+// (Set and Dict have builder-style Add methods used during construction;
+// do not mutate values that have been shared).
+type Value interface {
+	// Key returns a canonical string encoding, injective on values: two
+	// values are equal iff their keys are equal. Used for set membership,
+	// dictionary keys and result comparison.
+	Key() string
+	// String renders the value for humans.
+	String() string
+}
+
+// Int is an integer value.
+type Int int64
+
+// Key implements Value.
+func (v Int) Key() string { return "i" + strconv.FormatInt(int64(v), 10) }
+
+// String implements Value.
+func (v Int) String() string { return strconv.FormatInt(int64(v), 10) }
+
+// Float is a floating-point value.
+type Float float64
+
+// Key implements Value.
+func (v Float) Key() string { return "f" + strconv.FormatFloat(float64(v), 'g', -1, 64) }
+
+// String implements Value.
+func (v Float) String() string { return strconv.FormatFloat(float64(v), 'g', -1, 64) }
+
+// Str is a string value.
+type Str string
+
+// Key implements Value.
+func (v Str) Key() string { return "s" + strconv.Quote(string(v)) }
+
+// String implements Value.
+func (v Str) String() string { return strconv.Quote(string(v)) }
+
+// Bool is a boolean value.
+type Bool bool
+
+// Key implements Value.
+func (v Bool) Key() string {
+	if v {
+		return "bT"
+	}
+	return "bF"
+}
+
+// String implements Value.
+func (v Bool) String() string {
+	if v {
+		return "true"
+	}
+	return "false"
+}
+
+// OID is an opaque object identifier of a named oid type. Two oids are
+// equal iff both the type name and the serial agree.
+type OID struct {
+	TypeName string
+	Serial   int
+}
+
+// Key implements Value.
+func (v OID) Key() string { return "o" + v.TypeName + "#" + strconv.Itoa(v.Serial) }
+
+// String implements Value.
+func (v OID) String() string { return v.TypeName + "#" + strconv.Itoa(v.Serial) }
+
+// Struct is a record value with named fields in a fixed order.
+type Struct struct {
+	names []string
+	vals  []Value
+	key   string
+}
+
+// NewStruct builds a record from field names and values (parallel slices).
+func NewStruct(names []string, vals []Value) *Struct {
+	if len(names) != len(vals) {
+		panic("instance: NewStruct field/value length mismatch")
+	}
+	s := &Struct{names: names, vals: vals}
+	var b strings.Builder
+	b.WriteString("r{")
+	for i := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(names[i])
+		b.WriteByte(':')
+		b.WriteString(vals[i].Key())
+	}
+	b.WriteByte('}')
+	s.key = b.String()
+	return s
+}
+
+// StructOf builds a record from alternating name, value pairs in field
+// order: StructOf("A", Int(1), "B", Str("x")).
+func StructOf(pairs ...any) *Struct {
+	if len(pairs)%2 != 0 {
+		panic("instance: StructOf needs name/value pairs")
+	}
+	names := make([]string, 0, len(pairs)/2)
+	vals := make([]Value, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		names = append(names, pairs[i].(string))
+		vals = append(vals, pairs[i+1].(Value))
+	}
+	return NewStruct(names, vals)
+}
+
+// Field returns the value of the named field and whether it exists.
+func (s *Struct) Field(name string) (Value, bool) {
+	for i, n := range s.names {
+		if n == name {
+			return s.vals[i], true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the field names in order.
+func (s *Struct) Names() []string { return append([]string(nil), s.names...) }
+
+// Key implements Value.
+func (s *Struct) Key() string { return s.key }
+
+// String implements Value.
+func (s *Struct) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range s.names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.names[i])
+		b.WriteString(": ")
+		b.WriteString(s.vals[i].String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Set is a finite set of values with set semantics (duplicates collapse).
+type Set struct {
+	m map[string]Value
+}
+
+// NewSet builds a set from the given elements.
+func NewSet(elems ...Value) *Set {
+	s := &Set{m: make(map[string]Value, len(elems))}
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Add inserts a value (idempotent). Returns the set for chaining.
+func (s *Set) Add(v Value) *Set {
+	s.m[v.Key()] = v
+	return s
+}
+
+// Contains reports membership.
+func (s *Set) Contains(v Value) bool {
+	_, ok := s.m[v.Key()]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s *Set) Len() int { return len(s.m) }
+
+// Elems returns the elements sorted by key (deterministic iteration).
+func (s *Set) Elems() []Value {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = s.m[k]
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for k := range s.m {
+		if _, ok := t.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Key implements Value.
+func (s *Set) Key() string {
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return "S[" + strings.Join(keys, ";") + "]"
+}
+
+// String implements Value.
+func (s *Set) String() string {
+	parts := make([]string, 0, s.Len())
+	for _, e := range s.Elems() {
+		parts = append(parts, e.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+type dictEntry struct {
+	k, v Value
+}
+
+// Dict is a dictionary: a finite function from keys to values.
+type Dict struct {
+	m map[string]dictEntry
+}
+
+// NewDict builds an empty dictionary.
+func NewDict() *Dict { return &Dict{m: map[string]dictEntry{}} }
+
+// Put binds key to val (overwriting). Returns the dict for chaining.
+func (d *Dict) Put(key, val Value) *Dict {
+	d.m[key.Key()] = dictEntry{k: key, v: val}
+	return d
+}
+
+// Get returns the entry for the key and whether it is defined.
+func (d *Dict) Get(key Value) (Value, bool) {
+	e, ok := d.m[key.Key()]
+	if !ok {
+		return nil, false
+	}
+	return e.v, true
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int { return len(d.m) }
+
+// Domain returns dom(d) as a Set.
+func (d *Dict) Domain() *Set {
+	s := NewSet()
+	for _, e := range d.m {
+		s.Add(e.k)
+	}
+	return s
+}
+
+// Entries returns the (key, value) pairs sorted by key encoding.
+func (d *Dict) Entries() [][2]Value {
+	keys := make([]string, 0, len(d.m))
+	for k := range d.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([][2]Value, len(keys))
+	for i, k := range keys {
+		e := d.m[k]
+		out[i] = [2]Value{e.k, e.v}
+	}
+	return out
+}
+
+// Key implements Value.
+func (d *Dict) Key() string {
+	keys := make([]string, 0, len(d.m))
+	for k := range d.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("D[")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		e := d.m[k]
+		b.WriteString(k)
+		b.WriteString("->")
+		b.WriteString(e.v.Key())
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// String implements Value.
+func (d *Dict) String() string {
+	parts := make([]string, 0, d.Len())
+	for _, e := range d.Entries() {
+		parts = append(parts, e[0].String()+" -> "+e[1].String())
+	}
+	return "dict{" + strings.Join(parts, ", ") + "}"
+}
+
+// Instance is a database instance: a binding of schema names to values.
+type Instance struct {
+	vals map[string]Value
+}
+
+// NewInstance creates an empty instance.
+func NewInstance() *Instance { return &Instance{vals: map[string]Value{}} }
+
+// Bind assigns a value to a schema name.
+func (in *Instance) Bind(name string, v Value) *Instance {
+	in.vals[name] = v
+	return in
+}
+
+// Lookup returns the value of a schema name.
+func (in *Instance) Lookup(name string) (Value, bool) {
+	v, ok := in.vals[name]
+	return v, ok
+}
+
+// Names returns the bound names, sorted.
+func (in *Instance) Names() []string {
+	out := make([]string, 0, len(in.vals))
+	for n := range in.vals {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String summarizes the instance.
+func (in *Instance) String() string {
+	var b strings.Builder
+	for _, n := range in.Names() {
+		v := in.vals[n]
+		switch t := v.(type) {
+		case *Set:
+			fmt.Fprintf(&b, "%s: set of %d\n", n, t.Len())
+		case *Dict:
+			fmt.Fprintf(&b, "%s: dict of %d\n", n, t.Len())
+		default:
+			fmt.Fprintf(&b, "%s: %s\n", n, v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package instance
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseValueKeys(t *testing.T) {
+	vals := []Value{
+		Int(1), Int(-1), Float(1.5), Str("a"), Str("b"), Bool(true), Bool(false),
+		OID{TypeName: "Doid", Serial: 1}, OID{TypeName: "Doid", Serial: 2},
+		OID{TypeName: "Eoid", Serial: 1},
+	}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		if prev, dup := seen[v.Key()]; dup {
+			t.Errorf("key collision: %s vs %s", prev, v)
+		}
+		seen[v.Key()] = v
+	}
+}
+
+func TestIntStringKeysDiffer(t *testing.T) {
+	// Int(1) and Str("1") must not collide.
+	if Int(1).Key() == Str("1").Key() {
+		t.Error("int and string keys collide")
+	}
+}
+
+func TestStructFieldAccess(t *testing.T) {
+	s := StructOf("A", Int(1), "B", Str("x"))
+	if v, ok := s.Field("A"); !ok || v.Key() != Int(1).Key() {
+		t.Error("field A wrong")
+	}
+	if _, ok := s.Field("Z"); ok {
+		t.Error("missing field should report !ok")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestStructKeyEquality(t *testing.T) {
+	a := StructOf("A", Int(1), "B", Str("x"))
+	b := NewStruct([]string{"A", "B"}, []Value{Int(1), Str("x")})
+	if a.Key() != b.Key() {
+		t.Error("identical structs must share keys")
+	}
+	c := StructOf("A", Int(2), "B", Str("x"))
+	if a.Key() == c.Key() {
+		t.Error("different structs must differ")
+	}
+}
+
+func TestNewStructPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch must panic")
+		}
+	}()
+	NewStruct([]string{"A"}, nil)
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := NewSet(Int(1), Int(2), Int(1))
+	if s.Len() != 2 {
+		t.Errorf("set len = %d, want 2 (dedup)", s.Len())
+	}
+	if !s.Contains(Int(1)) || s.Contains(Int(3)) {
+		t.Error("Contains wrong")
+	}
+	elems := s.Elems()
+	if len(elems) != 2 {
+		t.Errorf("Elems = %v", elems)
+	}
+	// Deterministic order.
+	s2 := NewSet(Int(2), Int(1))
+	for i := range elems {
+		if elems[i].Key() != s2.Elems()[i].Key() {
+			t.Error("Elems order must be canonical")
+		}
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := NewSet(Int(1), Str("x"))
+	b := NewSet(Str("x"), Int(1))
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality")
+	}
+	c := NewSet(Int(1))
+	if a.Equal(c) {
+		t.Error("different sets must differ")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal sets must share keys")
+	}
+}
+
+func TestSetOfStructsDedup(t *testing.T) {
+	s := NewSet(
+		StructOf("A", Int(1)),
+		StructOf("A", Int(1)),
+		StructOf("A", Int(2)),
+	)
+	if s.Len() != 2 {
+		t.Errorf("struct dedup failed: %d", s.Len())
+	}
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	d.Put(Str("k1"), Int(10))
+	d.Put(Str("k2"), Int(20))
+	if d.Len() != 2 {
+		t.Errorf("len = %d", d.Len())
+	}
+	if v, ok := d.Get(Str("k1")); !ok || v.Key() != Int(10).Key() {
+		t.Error("Get k1 wrong")
+	}
+	if _, ok := d.Get(Str("zz")); ok {
+		t.Error("missing key should report !ok")
+	}
+	dom := d.Domain()
+	if dom.Len() != 2 || !dom.Contains(Str("k1")) {
+		t.Error("Domain wrong")
+	}
+	// Overwrite.
+	d.Put(Str("k1"), Int(99))
+	if v, _ := d.Get(Str("k1")); v.Key() != Int(99).Key() {
+		t.Error("Put must overwrite")
+	}
+	if d.Len() != 2 {
+		t.Error("overwrite must not grow dict")
+	}
+}
+
+func TestDictEntriesDeterministic(t *testing.T) {
+	d := NewDict()
+	d.Put(Str("b"), Int(2))
+	d.Put(Str("a"), Int(1))
+	es := d.Entries()
+	if len(es) != 2 {
+		t.Fatalf("entries = %d", len(es))
+	}
+	if es[0][0].Key() != Str("a").Key() {
+		t.Error("entries must be sorted by key")
+	}
+}
+
+func TestNestedValueKeys(t *testing.T) {
+	inner := NewSet(Str("p1"), Str("p2"))
+	d1 := StructOf("DName", Str("d"), "DProjs", inner)
+	d2 := StructOf("DName", Str("d"), "DProjs", NewSet(Str("p2"), Str("p1")))
+	if d1.Key() != d2.Key() {
+		t.Error("nested set order must not affect struct keys")
+	}
+}
+
+func TestInstance(t *testing.T) {
+	in := NewInstance()
+	in.Bind("R", NewSet(Int(1)))
+	in.Bind("M", NewDict())
+	if _, ok := in.Lookup("R"); !ok {
+		t.Error("Lookup R failed")
+	}
+	if _, ok := in.Lookup("zz"); ok {
+		t.Error("missing name should report !ok")
+	}
+	names := in.Names()
+	if len(names) != 2 || names[0] != "M" || names[1] != "R" {
+		t.Errorf("Names = %v", names)
+	}
+	if in.String() == "" {
+		t.Error("String should describe the instance")
+	}
+}
+
+// Property: key equality is an equivalence compatible with set membership.
+func TestKeyMembershipProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		s := NewSet(Int(a))
+		if a == b {
+			return s.Contains(Int(b))
+		}
+		return !s.Contains(Int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: set union via Add is commutative (same key).
+func TestSetAddCommutativeProperty(t *testing.T) {
+	f := func(xs []int8) bool {
+		a := NewSet()
+		b := NewSet()
+		for _, x := range xs {
+			a.Add(Int(int64(x)))
+		}
+		for i := len(xs) - 1; i >= 0; i-- {
+			b.Add(Int(int64(xs[i])))
+		}
+		return a.Key() == b.Key() && a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

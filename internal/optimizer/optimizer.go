@@ -1,0 +1,339 @@
+// Package optimizer implements Algorithm 1 of Deutsch, Popa, Tannen
+// (VLDB 1999) end to end:
+//
+//  1. chase the query with D ∪ D′ into the universal plan U,
+//  2. backchase U, enumerating the minimal plans,
+//  3. apply conventional cost-based optimization (binding reorder,
+//     non-failing-lookup simplification) to each plan,
+//  4. return the cheapest plan.
+//
+// The optimizer can be restricted to emit only plans over the physical
+// schema ("the obvious strategy is to attempt to remove whatever is in
+// the logical schema but not in the physical schema", §3).
+package optimizer
+
+import (
+	"fmt"
+
+	"cnb/internal/backchase"
+	"cnb/internal/chase"
+	"cnb/internal/core"
+	"cnb/internal/cost"
+)
+
+// Options configures an optimization run.
+type Options struct {
+	// Deps is D ∪ D′: logical constraints plus the implementation mapping.
+	Deps []*core.Dependency
+	// PhysicalNames restricts final plans to the given schema names when
+	// non-nil; plans mentioning other names are discarded (unless no plan
+	// qualifies, in which case all plans are kept and Result.Fallback is
+	// set — soundness never depends on the restriction).
+	PhysicalNames map[string]bool
+	// Stats drives cost estimation; when nil, uniform defaults are used.
+	Stats *cost.Stats
+	// Chase and Backchase tune the two phases.
+	Chase     chase.Options
+	Backchase backchase.Options
+	// MinimalOnly restricts the candidate plans to backchase normal forms.
+	// By default every explored backchase state (each of which is an
+	// equivalent plan — "we can stop this rewriting anytime") is also
+	// costed: the paper's §4 view+index plan keeps the derivable view V
+	// for its small size even though V is removable, so it is an
+	// intermediate state rather than a minimal plan.
+	MinimalOnly bool
+}
+
+// Result reports everything Algorithm 1 produced.
+type Result struct {
+	// Universal is the universal plan chase(Q).
+	Universal *core.Query
+	// ChaseSteps traces the constraints applied during the chase phase.
+	ChaseSteps []chase.Step
+	// Minimal are the raw minimal plans from the backchase (normalized).
+	Minimal []*core.Query
+	// Explored are all distinct backchase states (each an equivalent
+	// plan); included in the candidate pool unless MinimalOnly is set.
+	Explored []*core.Query
+	// Candidates are the cost-ranked executable plans after lookup
+	// simplification and binding reorder, cheapest first.
+	Candidates []cost.RankedPlan
+	// Best is the cheapest candidate (nil only if Minimal is empty, which
+	// cannot happen for well-formed inputs).
+	Best *cost.RankedPlan
+	// States is the number of subqueries the backchase explored.
+	States int
+	// Fallback reports that the physical-only restriction was lifted
+	// because no minimal plan satisfied it.
+	Fallback bool
+	// Inconsistent reports that the chase proved the query empty under
+	// the constraints (an EGD equated distinct constants).
+	Inconsistent bool
+}
+
+// Optimize runs Algorithm 1 on the query.
+func Optimize(q *core.Query, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("optimizer: %w", err)
+	}
+	// Phase 1: chase.
+	chased, err := chase.Chase(q, opts.Deps, opts.Chase)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: chase: %w", err)
+	}
+	res := &Result{Universal: chased.Query, ChaseSteps: chased.Steps}
+	if chased.Inconsistent {
+		res.Inconsistent = true
+		empty := q.Clone()
+		res.Minimal = []*core.Query{empty}
+		stats := opts.Stats
+		if stats == nil {
+			stats = cost.NewStats()
+		}
+		res.Candidates = stats.Rank(res.Minimal)
+		res.Best = &res.Candidates[0]
+		return res, nil
+	}
+
+	// Phase 2: backchase.
+	bopts := opts.Backchase
+	bopts.Chase = opts.Chase
+	enum, err := backchase.Enumerate(chased.Query, opts.Deps, bopts)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: backchase: %w", err)
+	}
+	res.States = enum.States
+	res.Minimal = enum.Plans
+	res.Explored = enum.Explored
+
+	// Candidate pool: the minimal plans plus (by default) every explored
+	// backchase state — all are equivalent to Q, and a non-minimal state
+	// can be the cheapest executable plan (§4's view+index navigation).
+	pool := append([]*core.Query(nil), enum.Plans...)
+	if !opts.MinimalOnly {
+		pool = append(pool, enum.Explored...)
+	}
+
+	// Physical-only restriction.
+	isPhysical := func(p *core.Query) bool {
+		if opts.PhysicalNames == nil {
+			return true
+		}
+		for n := range p.Names() {
+			if !opts.PhysicalNames[n] {
+				return false
+			}
+		}
+		return true
+	}
+	var plans []*core.Query
+	for _, p := range pool {
+		if isPhysical(p) {
+			plans = append(plans, p)
+		}
+	}
+	if len(plans) == 0 {
+		plans = pool
+		res.Fallback = opts.PhysicalNames != nil
+	}
+
+	// Phase 3: conventional optimization per plan, deduplicating the
+	// simplified forms.
+	var executable []*core.Query
+	seen := map[string]bool{}
+	for _, p := range plans {
+		s := SimplifyLookups(p)
+		sig := s.NormalizeBindingOrder().Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			executable = append(executable, s)
+		}
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = cost.NewStats()
+	}
+	res.Candidates = stats.Rank(executable)
+	if len(res.Candidates) > 0 {
+		res.Best = &res.Candidates[0]
+	}
+	return res, nil
+}
+
+// SimplifyLookups rewrites guarded dictionary-domain loops into
+// non-failing lookups — the final transformation of the paper's §4
+// example: a binding pair
+//
+//	dom(M) k, M[k] x   with   k = t   (t not mentioning k)
+//
+// becomes the single binding  M{t} x, replacing k by t everywhere. The
+// guard condition is consumed by the non-failing lookup: when t ∉ dom(M)
+// the loop is empty in both forms. Other occurrences of M[k] become M[t],
+// which can only be evaluated when M{t} is non-empty, i.e. when the
+// failing lookup is defined.
+func SimplifyLookups(q *core.Query) *core.Query {
+	cur := q.Clone()
+	for changed := true; changed; {
+		changed = false
+		for i, b := range cur.Bindings {
+			if b.Range.Kind != core.KDom {
+				continue
+			}
+			k := b.Var
+			dict := b.Range.Base
+			if !dependentsAreDirectLookups(cur, i, k, dict) {
+				continue
+			}
+			// Try every key candidate: the first may be circular (e.g.
+			// k = t1.A where t1 is the dependent lookup itself).
+			var next *core.Query
+			for _, cand := range keyEqualities(cur, k) {
+				next = applyLookupSimplification(cur, i, cand.condIdx, k, dict, cand.t)
+				if next != nil {
+					break
+				}
+			}
+			if next != nil {
+				cur = next
+				changed = true
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// keyCandidate is a term the conditions force equal to the key variable,
+// plus the index of the condition consumed by the rewrite (-1 when the
+// equality was extracted from a struct condition that must be kept).
+type keyCandidate struct {
+	t       *core.Term
+	condIdx int
+}
+
+// keyEqualities finds every term t, free of k, that the conditions force
+// equal to k. Direct equalities k = t consume their condition; struct
+// equalities other = struct(..., F: k, ...) yield other.F via constructor
+// injectivity and keep the condition (its remaining fields may carry
+// information).
+func keyEqualities(q *core.Query, k string) []keyCandidate {
+	kv := core.V(k)
+	var out []keyCandidate
+	for i, c := range q.Conds {
+		if c.L.Equal(kv) && !c.R.MentionsVar(k) {
+			out = append(out, keyCandidate{c.R, i})
+		}
+		if c.R.Equal(kv) && !c.L.MentionsVar(k) {
+			out = append(out, keyCandidate{c.L, i})
+		}
+	}
+	for _, c := range q.Conds {
+		for _, pair := range [][2]*core.Term{{c.L, c.R}, {c.R, c.L}} {
+			st, other := pair[0], pair[1]
+			if st.Kind != core.KStruct || other.MentionsVar(k) {
+				continue
+			}
+			for _, f := range st.Fields {
+				if f.Term.Equal(kv) {
+					out = append(out, keyCandidate{core.Prj(other, f.Name), -1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dependentsAreDirectLookups checks that at least one later binding ranges
+// exactly over dict[k], and every binding range mentioning k is exactly
+// dict[k] (so the non-failing rewrite covers all of them).
+func dependentsAreDirectLookups(q *core.Query, domIdx int, k string, dict *core.Term) bool {
+	direct := core.Lk(dict, core.V(k))
+	found := false
+	for j, b := range q.Bindings {
+		if j == domIdx {
+			continue
+		}
+		if !b.Range.MentionsVar(k) {
+			continue
+		}
+		if !b.Range.Equal(direct) {
+			return false
+		}
+		found = true
+	}
+	return found
+}
+
+func applyLookupSimplification(q *core.Query, domIdx, condIdx int, k string, dict, t *core.Term) *core.Query {
+	direct := core.Lk(dict, core.V(k))
+	sub := map[string]*core.Term{k: t}
+	next := &core.Query{}
+	for j, b := range q.Bindings {
+		if j == domIdx {
+			continue
+		}
+		if b.Range.Equal(direct) {
+			next.Bindings = append(next.Bindings, core.Binding{
+				Var:   b.Var,
+				Range: core.LkNF(dict.Subst(sub), t),
+			})
+			continue
+		}
+		next.Bindings = append(next.Bindings, core.Binding{Var: b.Var, Range: b.Range.Subst(sub)})
+	}
+	for j, c := range q.Conds {
+		if j == condIdx {
+			continue
+		}
+		nc := core.Cond{L: c.L.Subst(sub), R: c.R.Subst(sub)}
+		if nc.L.Equal(nc.R) {
+			continue
+		}
+		next.Conds = append(next.Conds, nc)
+	}
+	next.Out = q.Out.Subst(sub)
+	// The replacement key may reference a variable bound later in the
+	// original order (e.g. the view row of ΦV); restore scoping.
+	if sorted, ok := topoSortBindings(next.Bindings); ok {
+		next.Bindings = sorted
+	}
+	if err := next.Validate(); err != nil {
+		return nil
+	}
+	return next
+}
+
+// topoSortBindings orders bindings so every range mentions only earlier
+// variables, keeping the given order among independent bindings.
+func topoSortBindings(bs []core.Binding) ([]core.Binding, bool) {
+	n := len(bs)
+	used := make([]bool, n)
+	introduced := map[string]bool{}
+	out := make([]core.Binding, 0, n)
+	for len(out) < n {
+		progress := false
+		for i, b := range bs {
+			if used[i] {
+				continue
+			}
+			ready := true
+			for v := range b.Range.Vars() {
+				if !introduced[v] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			used[i] = true
+			introduced[b.Var] = true
+			out = append(out, b)
+			progress = true
+		}
+		if !progress {
+			return nil, false
+		}
+	}
+	return out, true
+}

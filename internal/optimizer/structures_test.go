@@ -1,0 +1,176 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cnb/internal/core"
+	"cnb/internal/eval"
+	"cnb/internal/instance"
+	"cnb/internal/physical"
+	"cnb/internal/schema"
+	"cnb/internal/types"
+)
+
+// TestGMapEndToEnd exercises the generalized gmap of §2: a dictionary from
+// R.A values to {B, C} projections. The optimizer must rewrite a selection
+// on A into a gmap lookup.
+func TestGMapEndToEnd(t *testing.T) {
+	logical := schema.New("g")
+	logical.MustAddElement("R", types.SetOf(types.StructOf(
+		types.F("A", types.Int()),
+		types.F("B", types.Int()),
+		types.F("C", types.Int()),
+	)), "")
+	design := physical.NewDesign(logical).
+		Add(physical.DirectStorage{Name: "R"}).
+		Add(physical.GMap{
+			Name:     "G",
+			Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+			DomOut:   core.Prj(core.V("r"), "A"),
+			RangeOut: core.Struct(
+				core.SF("B", core.Prj(core.V("r"), "B")),
+				core.SF("C", core.Prj(core.V("r"), "C")),
+			),
+		})
+	_, deps, _, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := &core.Query{
+		Out:      core.Prj(core.V("r"), "B"),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+		Conds:    []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(7)}},
+	}
+	res, err := Optimize(q, Options{Deps: deps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some candidate must be a gmap-only plan (single non-failing lookup
+	// after simplification).
+	var gmapPlan *core.Query
+	for _, c := range res.Candidates {
+		ns := c.Query.Names()
+		if ns["G"] && !ns["R"] {
+			gmapPlan = c.Query
+			break
+		}
+	}
+	if gmapPlan == nil {
+		for _, c := range res.Candidates {
+			t.Logf("candidate: %v", c.Query.SortedNames())
+		}
+		t.Fatal("gmap plan not found")
+	}
+
+	// Execute both on data and compare.
+	rSet := instance.NewSet()
+	buckets := map[int64]*instance.Set{}
+	for i := int64(0); i < 30; i++ {
+		a := i % 5
+		row := instance.StructOf("A", instance.Int(a), "B", instance.Int(i), "C", instance.Int(i*2))
+		rSet.Add(row)
+		if buckets[a] == nil {
+			buckets[a] = instance.NewSet()
+		}
+		buckets[a].Add(instance.StructOf("B", instance.Int(i), "C", instance.Int(i*2)))
+	}
+	g := instance.NewDict()
+	for a, b := range buckets {
+		g.Put(instance.Int(a), b)
+	}
+	in := instance.NewInstance()
+	in.Bind("R", rSet)
+	in.Bind("G", g)
+	// The generated gmap satisfies its constraints.
+	if name, err := eval.SatisfiesAll(deps, in); err != nil || name != "" {
+		t.Fatalf("instance violates %s (%v)", name, err)
+	}
+	want, err := eval.Query(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eval.Query(gmapPlan, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A=7 does not occur: both must be empty (non-failing lookup).
+	if !got.Equal(want) {
+		t.Errorf("gmap plan differs:\nwant %s\ngot  %s\nplan:\n%s", want, got, gmapPlan)
+	}
+	if want.Len() != 0 {
+		t.Error("fixture expects an empty result for A=7")
+	}
+
+	// And a hit: A=3.
+	q3 := q.Clone()
+	q3.Conds = []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(3)}}
+	res3, err := Optimize(q3, Options{Deps: deps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res3.Candidates {
+		got, err := eval.Query(c.Query, in)
+		if err != nil {
+			t.Fatalf("candidate failed: %v\n%s", err, c.Query)
+		}
+		want, _ := eval.Query(q3, in)
+		if !got.Equal(want) {
+			t.Errorf("candidate differs on A=3:\n%s", c.Query)
+		}
+	}
+}
+
+// TestHashTableEnablesHashJoinPlan exercises the §2 hash-table discussion:
+// with a (transient) hash table on S.B, the join R ⋈ S rewrites into a
+// plan probing the table, and the cost model charges the build.
+func TestHashTableEnablesHashJoinPlan(t *testing.T) {
+	logical := schema.New("h")
+	logical.MustAddElement("R", types.SetOf(types.StructOf(
+		types.F("A", types.Int()), types.F("B", types.Int()))), "")
+	logical.MustAddElement("S", types.SetOf(types.StructOf(
+		types.F("B", types.Int()), types.F("C", types.Int()))), "")
+	design := physical.NewDesign(logical).
+		Add(physical.DirectStorage{Name: "R"}).
+		Add(physical.DirectStorage{Name: "S"}).
+		Add(physical.HashTable{Name: "HS", Relation: "S", Attribute: "B"})
+	_, deps, _, err := design.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("A", core.Prj(core.V("r"), "A")),
+			core.SF("C", core.Prj(core.V("s"), "C")),
+		),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.Name("R")},
+			{Var: "s", Range: core.Name("S")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("r"), "B"), R: core.Prj(core.V("s"), "B")}},
+	}
+	res, err := Optimize(q, Options{Deps: deps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hash-join-shaped plan: scan R, probe HS{r.B}.
+	found := false
+	for _, c := range res.Candidates {
+		ns := c.Query.Names()
+		if !ns["HS"] || ns["S"] {
+			continue
+		}
+		for _, b := range c.Query.Bindings {
+			if b.Range.Kind == core.KLookup && b.Range.NonFailing &&
+				b.Range.Base.Equal(core.Name("HS")) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		for _, c := range res.Candidates {
+			t.Logf("candidate: %v\n%s", c.Query.SortedNames(), c.Query)
+		}
+		t.Error("hash-probe plan (R scan + HS{r.B} probe) not found")
+	}
+}

@@ -1,0 +1,272 @@
+// Package parser implements the surface language of the system: an
+// ODL/OQL-flavoured syntax for schemas, constraints, physical designs and
+// path-conjunctive queries, as used throughout Deutsch, Popa, Tannen
+// (VLDB 1999). Example:
+//
+//	schema Logical {
+//	  Proj  : set<{PName: string, CustName: string, PDept: string, Budg: int}>;
+//	  depts : set<{DName: string, DProjs: set<string>, MgrName: string}>;
+//
+//	  constraint RIC1:
+//	    forall (d in depts, s in d.DProjs) exists (p in Proj) s = p.PName;
+//	}
+//
+//	design Phys over Logical {
+//	  store Proj;
+//	  classdict Dept for depts oid Doid;
+//	  primary index I on Proj(PName);
+//	  secondary index SI on Proj(CustName);
+//	  view JI: select struct(DOID: dd, PN: p.PName)
+//	           from dom(Dept) dd, Dept[dd].DProjs s, Proj p
+//	           where s = p.PName;
+//	}
+//
+//	query Q:
+//	  select struct(PN: s, PB: p.Budg, DN: d.DName)
+//	  from depts d, d.DProjs s, Proj p
+//	  where s = p.PName and p.CustName = "CitiBank";
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind discriminates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // single characters and two-char punctuation like -> and <=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	// literal values
+	i int64
+	f float64
+	s string
+
+	line, col int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.s)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a parse error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errf(format string, args ...any) *Error {
+	return &Error{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			// -- line comment
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	startLine, startCol := lx.line, lx.col
+	c, ok := lx.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	switch {
+	case isIdentStart(c):
+		var b strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(c) {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: startLine, col: startCol}, nil
+	case unicode.IsDigit(rune(c)):
+		var b strings.Builder
+		isFloat := false
+		for {
+			c, ok := lx.peekByte()
+			if !ok {
+				break
+			}
+			if c == '.' && lx.pos+1 < len(lx.src) && unicode.IsDigit(rune(lx.src[lx.pos+1])) && !isFloat {
+				isFloat = true
+				b.WriteByte(lx.advance())
+				continue
+			}
+			if !unicode.IsDigit(rune(c)) {
+				break
+			}
+			b.WriteByte(lx.advance())
+		}
+		text := b.String()
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, lx.errf("bad float literal %q", text)
+			}
+			return token{kind: tokFloat, text: text, f: f, line: startLine, col: startCol}, nil
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, lx.errf("bad integer literal %q", text)
+		}
+		return token{kind: tokInt, text: text, i: i, line: startLine, col: startCol}, nil
+	case c == '"':
+		lx.advance()
+		var b strings.Builder
+		for {
+			c, ok := lx.peekByte()
+			if !ok {
+				return token{}, lx.errf("unterminated string literal")
+			}
+			if c == '"' {
+				lx.advance()
+				return token{kind: tokString, text: b.String(), s: b.String(), line: startLine, col: startCol}, nil
+			}
+			if c == '\\' {
+				lx.advance()
+				e, ok := lx.peekByte()
+				if !ok {
+					return token{}, lx.errf("unterminated escape")
+				}
+				switch e {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return token{}, lx.errf("unknown escape \\%c", e)
+				}
+				lx.advance()
+				continue
+			}
+			b.WriteByte(lx.advance())
+		}
+	default:
+		// Two-character punctuation.
+		if c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '>' {
+			lx.advance()
+			lx.advance()
+			return token{kind: tokPunct, text: "->", line: startLine, col: startCol}, nil
+		}
+		switch c {
+		case '(', ')', '{', '}', '<', '>', '[', ']', ',', ':', ';', '=', '.':
+			lx.advance()
+			return token{kind: tokPunct, text: string(c), line: startLine, col: startCol}, nil
+		}
+		return token{}, lx.errf("unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,492 @@
+// Package physical models physical access structures and compiles each of
+// them into the pair (schema elements, constraints) that captures its
+// semantics — §2 of Deutsch, Popa, Tannen (VLDB 1999), "Physical
+// Structures as Constraints".
+//
+// Supported structures and their constraint encodings:
+//
+//   - DirectStorage   — a logical relation stored as-is (identity mapping)
+//   - PrimaryIndex    — I = dict k in π_A(R) : element(σ_{A=k}(R));
+//     constraints ΦPI, ΦPI'
+//   - SecondaryIndex  — SI = dict k in π_A(R) : σ_{A=k}(R);
+//     constraints ΦSI, ΦSI', ΦSI” (non-emptiness)
+//   - HashTable       — same constraints as a secondary index, but not
+//     materialized (built on the fly by a hash join)
+//   - ClassDict       — an OO class extent stored as a dictionary from
+//     fresh oids to object records; constraints ΦD, ΦD'
+//   - View            — a materialized PC view V = select O from P̄ where B;
+//     constraints ΦV, ΦV'
+//   - JoinIndex       — the Valduriez triple: a binary materialized view
+//     plus primary indexes on the joined relations
+//   - GMap            — dict z in Q1 : Q2(z), the generalized gmap of
+//     Tsatalos/Solomon/Ioannidis expressed with dictionaries
+package physical
+
+import (
+	"fmt"
+
+	"cnb/internal/core"
+	"cnb/internal/schema"
+	"cnb/internal/types"
+)
+
+// Structure is a physical access structure that can compile itself into
+// schema elements and implementation-mapping constraints. Compile receives
+// the combined schema built so far (logical elements plus previously
+// compiled structures) and must add its elements to phys and its
+// constraints to the returned slice.
+type Structure interface {
+	// StructName returns the name of the physical schema element(s) this
+	// structure introduces.
+	StructName() string
+	// Compile adds the structure's elements to phys (and the combined
+	// typing schema all) and returns its constraints.
+	Compile(all, phys *schema.Schema) ([]*core.Dependency, error)
+}
+
+// ---------------------------------------------------------------------
+// Direct storage
+
+// DirectStorage declares that a logical element is stored physically
+// under the same name; the implementation mapping is the identity, so no
+// constraints are needed.
+type DirectStorage struct {
+	Name string
+}
+
+// StructName implements Structure.
+func (d DirectStorage) StructName() string { return d.Name }
+
+// Compile implements Structure.
+func (d DirectStorage) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	e := all.Element(d.Name)
+	if e == nil {
+		return nil, fmt.Errorf("physical: direct storage of undeclared element %q", d.Name)
+	}
+	if err := phys.AddElement(e.Name, e.Type, "directly stored "+e.Doc); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------
+// Primary index
+
+// PrimaryIndex is a dictionary from the key attribute of a relation to its
+// unique row: I[k] = the r in R with r.A = k (A must be a key of R for the
+// structure to be well-defined; the paper's I on Proj.PName).
+type PrimaryIndex struct {
+	Name     string // index name, e.g. "I"
+	Relation string // indexed relation, e.g. "Proj"
+	Key      string // key attribute, e.g. "PName"
+}
+
+// StructName implements Structure.
+func (p PrimaryIndex) StructName() string { return p.Name }
+
+// Compile implements Structure. The constraints are the paper's ΦPI/ΦPI':
+//
+//	ΦPI : ∀(r ∈ R) ∃(i ∈ dom(I)) i = r.A and I[i] = r
+//	ΦPI': ∀(i ∈ dom(I)) ∃(r ∈ R) i = r.A and I[i] = r
+func (p PrimaryIndex) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	rowT, keyT, err := indexedRelation(all, p.Relation, p.Key)
+	if err != nil {
+		return nil, fmt.Errorf("physical: primary index %s: %w", p.Name, err)
+	}
+	if err := phys.AddElement(p.Name, types.DictOf(keyT, rowT),
+		fmt.Sprintf("primary index on %s.%s", p.Relation, p.Key)); err != nil {
+		return nil, err
+	}
+	fwd := &core.Dependency{
+		Name:       "Phi" + p.Name,
+		Premise:    []core.Binding{{Var: "r", Range: core.Name(p.Relation)}},
+		Conclusion: []core.Binding{{Var: "i", Range: core.Dom(core.Name(p.Name))}},
+		ConclusionConds: []core.Cond{
+			{L: core.V("i"), R: core.Prj(core.V("r"), p.Key)},
+			{L: core.Lk(core.Name(p.Name), core.V("i")), R: core.V("r")},
+		},
+	}
+	inv := &core.Dependency{
+		Name:       "Phi" + p.Name + "Inv",
+		Premise:    []core.Binding{{Var: "i", Range: core.Dom(core.Name(p.Name))}},
+		Conclusion: []core.Binding{{Var: "r", Range: core.Name(p.Relation)}},
+		ConclusionConds: []core.Cond{
+			{L: core.V("i"), R: core.Prj(core.V("r"), p.Key)},
+			{L: core.Lk(core.Name(p.Name), core.V("i")), R: core.V("r")},
+		},
+	}
+	return []*core.Dependency{fwd, inv}, nil
+}
+
+// ---------------------------------------------------------------------
+// Secondary index
+
+// SecondaryIndex is a dictionary from an attribute value to the set of
+// rows carrying it (the paper's SI on Proj.CustName).
+type SecondaryIndex struct {
+	Name      string
+	Relation  string
+	Attribute string
+}
+
+// StructName implements Structure.
+func (s SecondaryIndex) StructName() string { return s.Name }
+
+// Compile implements Structure. The constraints are the paper's
+// ΦSI/ΦSI'/ΦSI”:
+//
+//	ΦSI  : ∀(r ∈ R) ∃(k ∈ dom(SI), t ∈ SI[k]) k = r.A and r = t
+//	ΦSI' : ∀(k ∈ dom(SI), t ∈ SI[k]) ∃(r ∈ R) k = r.A and r = t
+//	ΦSI'': ∀(k ∈ dom(SI)) ∃(t ∈ SI[k]) true        (non-emptiness)
+func (s SecondaryIndex) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	rowT, attrT, err := indexedRelation(all, s.Relation, s.Attribute)
+	if err != nil {
+		return nil, fmt.Errorf("physical: secondary index %s: %w", s.Name, err)
+	}
+	if err := phys.AddElement(s.Name, types.DictOf(attrT, types.SetOf(rowT)),
+		fmt.Sprintf("secondary index on %s.%s", s.Relation, s.Attribute)); err != nil {
+		return nil, err
+	}
+	return secondaryIndexDeps(s.Name, s.Relation, s.Attribute), nil
+}
+
+func secondaryIndexDeps(name, rel, attr string) []*core.Dependency {
+	fwd := &core.Dependency{
+		Name:    "Phi" + name,
+		Premise: []core.Binding{{Var: "r", Range: core.Name(rel)}},
+		Conclusion: []core.Binding{
+			{Var: "k", Range: core.Dom(core.Name(name))},
+			{Var: "t", Range: core.Lk(core.Name(name), core.V("k"))},
+		},
+		ConclusionConds: []core.Cond{
+			{L: core.V("k"), R: core.Prj(core.V("r"), attr)},
+			{L: core.V("r"), R: core.V("t")},
+		},
+	}
+	inv := &core.Dependency{
+		Name: "Phi" + name + "Inv",
+		Premise: []core.Binding{
+			{Var: "k", Range: core.Dom(core.Name(name))},
+			{Var: "t", Range: core.Lk(core.Name(name), core.V("k"))},
+		},
+		Conclusion: []core.Binding{{Var: "r", Range: core.Name(rel)}},
+		ConclusionConds: []core.Cond{
+			{L: core.V("k"), R: core.Prj(core.V("r"), attr)},
+			{L: core.V("r"), R: core.V("t")},
+		},
+	}
+	nonEmpty := &core.Dependency{
+		Name:       "Phi" + name + "NE",
+		Premise:    []core.Binding{{Var: "k", Range: core.Dom(core.Name(name))}},
+		Conclusion: []core.Binding{{Var: "t", Range: core.Lk(core.Name(name), core.V("k"))}},
+	}
+	return []*core.Dependency{fwd, inv, nonEmpty}
+}
+
+// ---------------------------------------------------------------------
+// Hash table
+
+// HashTable has the same logical description as a secondary index but is
+// not materialized: a hash join builds it on the fly. The constraints are
+// identical (so the rewriter can produce hash-join plans the same way it
+// produces index plans); the cost model charges a build cost.
+type HashTable struct {
+	Name      string
+	Relation  string
+	Attribute string
+}
+
+// StructName implements Structure.
+func (h HashTable) StructName() string { return h.Name }
+
+// Compile implements Structure.
+func (h HashTable) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	rowT, attrT, err := indexedRelation(all, h.Relation, h.Attribute)
+	if err != nil {
+		return nil, fmt.Errorf("physical: hash table %s: %w", h.Name, err)
+	}
+	if err := phys.AddElement(h.Name, types.DictOf(attrT, types.SetOf(rowT)),
+		fmt.Sprintf("transient hash table on %s.%s", h.Relation, h.Attribute)); err != nil {
+		return nil, err
+	}
+	return secondaryIndexDeps(h.Name, h.Relation, h.Attribute), nil
+}
+
+// ---------------------------------------------------------------------
+// Class extent dictionary
+
+// ClassDict stores an OO class extent as a dictionary from fresh oids to
+// object records (the paper's representation of classes: "an OO class has
+// an extent and is represented as a dictionary whose keys are the oids").
+type ClassDict struct {
+	Name    string // dictionary name, e.g. "Dept"
+	Extent  string // logical extent name, e.g. "depts"
+	OIDType string // fresh oid base type name, e.g. "Doid"
+}
+
+// StructName implements Structure.
+func (c ClassDict) StructName() string { return c.Name }
+
+// Compile implements Structure. The constraints relate the logical extent
+// (a set of object records) to the dictionary:
+//
+//	ΦD : ∀(d ∈ E) ∃(o ∈ dom(D)) D[o] = d
+//	ΦD': ∀(o ∈ dom(D)) ∃(d ∈ E) d = D[o]
+func (c ClassDict) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	e := all.Element(c.Extent)
+	if e == nil {
+		return nil, fmt.Errorf("physical: class dict %s: undeclared extent %q", c.Name, c.Extent)
+	}
+	if e.Type.Kind != types.KindSet {
+		return nil, fmt.Errorf("physical: class dict %s: extent %q is not set-typed", c.Name, c.Extent)
+	}
+	if err := phys.AddElement(c.Name, types.DictOf(types.OID(c.OIDType), e.Type.Elem),
+		fmt.Sprintf("class extent dictionary for %s", c.Extent)); err != nil {
+		return nil, err
+	}
+	fwd := &core.Dependency{
+		Name:            "Phi" + c.Name,
+		Premise:         []core.Binding{{Var: "d", Range: core.Name(c.Extent)}},
+		Conclusion:      []core.Binding{{Var: "o", Range: core.Dom(core.Name(c.Name))}},
+		ConclusionConds: []core.Cond{{L: core.Lk(core.Name(c.Name), core.V("o")), R: core.V("d")}},
+	}
+	inv := &core.Dependency{
+		Name:            "Phi" + c.Name + "Inv",
+		Premise:         []core.Binding{{Var: "o", Range: core.Dom(core.Name(c.Name))}},
+		Conclusion:      []core.Binding{{Var: "d", Range: core.Name(c.Extent)}},
+		ConclusionConds: []core.Cond{{L: core.V("d"), R: core.Lk(core.Name(c.Name), core.V("o"))}},
+	}
+	return []*core.Dependency{fwd, inv}, nil
+}
+
+// ---------------------------------------------------------------------
+// Materialized views
+
+// View is a materialized path-conjunctive view: V = Def, where Def is a PC
+// query over the logical schema (and possibly other physical structures
+// compiled before it).
+type View struct {
+	Name string
+	Def  *core.Query
+}
+
+// StructName implements Structure.
+func (v View) StructName() string { return v.Name }
+
+// Compile implements Structure. The constraints are the paper's ΦV/ΦV'
+// (§2, "Materialized views / Source capabilities"):
+//
+//	ΦV : ∀(x̄ ∈ P̄) B(x̄) → ∃(v ∈ V) O(x̄) = v
+//	ΦV': ∀(v ∈ V) ∃(x̄ ∈ P̄) B(x̄) and O(x̄) = v
+func (v View) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	outT, err := all.CheckQuery(v.Def)
+	if err != nil {
+		return nil, fmt.Errorf("physical: view %s: %w", v.Name, err)
+	}
+	if err := phys.AddElement(v.Name, types.SetOf(outT), "materialized view"); err != nil {
+		return nil, err
+	}
+	// Freshen the view variables so they cannot collide with query vars.
+	def := v.Def.RenameVars(func(s string) string { return "v_" + s })
+	vVar := "v_self"
+	fwd := &core.Dependency{
+		Name:            "Phi" + v.Name,
+		Premise:         append([]core.Binding(nil), def.Bindings...),
+		PremiseConds:    append([]core.Cond(nil), def.Conds...),
+		Conclusion:      []core.Binding{{Var: vVar, Range: core.Name(v.Name)}},
+		ConclusionConds: []core.Cond{{L: core.V(vVar), R: def.Out}},
+	}
+	inv := &core.Dependency{
+		Name:            "Phi" + v.Name + "Inv",
+		Premise:         []core.Binding{{Var: vVar, Range: core.Name(v.Name)}},
+		Conclusion:      append([]core.Binding(nil), def.Bindings...),
+		ConclusionConds: append(append([]core.Cond(nil), def.Conds...), core.Cond{L: core.V(vVar), R: def.Out}),
+	}
+	return []*core.Dependency{fwd, inv}, nil
+}
+
+// ---------------------------------------------------------------------
+// Join index
+
+// JoinIndex is the Valduriez join-index triple (§2): a materialized binary
+// view associating the keys (surrogates) of matching tuples, plus primary
+// indexes on both relations so the surrogates can be dereferenced. The
+// view definition is supplied by the caller (the paper's JI generalizes
+// the binary relational case to classes).
+type JoinIndex struct {
+	View       View
+	LeftIndex  *PrimaryIndex // optional: nil if the relation is a class dict
+	RightIndex *PrimaryIndex
+}
+
+// StructName implements Structure.
+func (j JoinIndex) StructName() string { return j.View.Name }
+
+// Compile implements Structure.
+func (j JoinIndex) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	deps, err := j.View.Compile(all, phys)
+	if err != nil {
+		return nil, err
+	}
+	for _, idx := range []*PrimaryIndex{j.LeftIndex, j.RightIndex} {
+		if idx == nil {
+			continue
+		}
+		if phys.Has(idx.Name) {
+			continue // shared with another structure
+		}
+		d, err := idx.Compile(all, phys)
+		if err != nil {
+			return nil, err
+		}
+		deps = append(deps, d...)
+	}
+	return deps, nil
+}
+
+// ---------------------------------------------------------------------
+// GMaps
+
+// GMap is the generalized gmap (§2): a dictionary whose domain is given by
+// one query and whose entries collect the outputs of a second query that
+// shares the same from/where clause:
+//
+//	M = dict z in (select DomOut from P̄ where B) :
+//	      (select RangeOut from P̄ where B and DomOut = z)
+//
+// The paper's generalization drops the gmap-language restriction that the
+// two projections come from the same PSJ query; here they share bindings
+// and conditions but are otherwise free.
+type GMap struct {
+	Name     string
+	Bindings []core.Binding
+	Conds    []core.Cond
+	DomOut   *core.Term
+	RangeOut *core.Term
+}
+
+// StructName implements Structure.
+func (g GMap) StructName() string { return g.Name }
+
+// Compile implements Structure. Constraints (analogous to a secondary
+// index over the shared query):
+//
+//	ΦG : ∀(x̄ ∈ P̄) B → ∃(k ∈ dom(M), e ∈ M[k]) k = DomOut and e = RangeOut
+//	ΦG': ∀(k ∈ dom(M), e ∈ M[k]) ∃(x̄ ∈ P̄) B and k = DomOut and e = RangeOut
+func (g GMap) Compile(all, phys *schema.Schema) ([]*core.Dependency, error) {
+	domQ := &core.Query{Out: g.DomOut, Bindings: g.Bindings, Conds: g.Conds}
+	domT, err := all.CheckQuery(domQ)
+	if err != nil {
+		return nil, fmt.Errorf("physical: gmap %s domain: %w", g.Name, err)
+	}
+	rngQ := &core.Query{Out: g.RangeOut, Bindings: g.Bindings, Conds: g.Conds}
+	rngT, err := all.CheckQuery(rngQ)
+	if err != nil {
+		return nil, fmt.Errorf("physical: gmap %s range: %w", g.Name, err)
+	}
+	if err := phys.AddElement(g.Name, types.DictOf(domT, types.SetOf(rngT)), "gmap"); err != nil {
+		return nil, err
+	}
+	fresh := func(s string) string { return "g_" + s }
+	dq := domQ.RenameVars(fresh)
+	rq := rngQ.RenameVars(fresh)
+	fwd := &core.Dependency{
+		Name:         "Phi" + g.Name,
+		Premise:      append([]core.Binding(nil), dq.Bindings...),
+		PremiseConds: append([]core.Cond(nil), dq.Conds...),
+		Conclusion: []core.Binding{
+			{Var: "g_k", Range: core.Dom(core.Name(g.Name))},
+			{Var: "g_e", Range: core.Lk(core.Name(g.Name), core.V("g_k"))},
+		},
+		ConclusionConds: []core.Cond{
+			{L: core.V("g_k"), R: dq.Out},
+			{L: core.V("g_e"), R: rq.Out},
+		},
+	}
+	inv := &core.Dependency{
+		Name: "Phi" + g.Name + "Inv",
+		Premise: []core.Binding{
+			{Var: "g_k", Range: core.Dom(core.Name(g.Name))},
+			{Var: "g_e", Range: core.Lk(core.Name(g.Name), core.V("g_k"))},
+		},
+		Conclusion: append([]core.Binding(nil), dq.Bindings...),
+		ConclusionConds: append(append([]core.Cond(nil), dq.Conds...),
+			core.Cond{L: core.V("g_k"), R: dq.Out},
+			core.Cond{L: core.V("g_e"), R: rq.Out}),
+	}
+	return []*core.Dependency{fwd, inv}, nil
+}
+
+// ---------------------------------------------------------------------
+// Design
+
+// Design is a physical design: a logical (base) schema plus a list of
+// physical structures. Build compiles everything into the physical schema
+// and the implementation-mapping constraint set D'.
+type Design struct {
+	Logical    *schema.Schema
+	structures []Structure
+}
+
+// NewDesign creates an empty design over the logical schema.
+func NewDesign(logical *schema.Schema) *Design {
+	return &Design{Logical: logical}
+}
+
+// Add appends a structure to the design.
+func (d *Design) Add(st Structure) *Design {
+	d.structures = append(d.structures, st)
+	return d
+}
+
+// Build compiles the design. It returns the physical schema, the
+// implementation-mapping dependencies D', and the combined schema (logical
+// ∪ physical) used for typing queries and plans.
+func (d *Design) Build() (phys *schema.Schema, deps []*core.Dependency, combined *schema.Schema, err error) {
+	phys = schema.New(d.Logical.Name + "_phys")
+	all := schema.New(d.Logical.Name + "_all")
+	for _, e := range d.Logical.Elements() {
+		all.MustAddElement(e.Name, e.Type, e.Doc)
+	}
+	for _, st := range d.structures {
+		stDeps, err := st.Compile(all, phys)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		// Make the new elements visible to later structures (a view can
+		// mention an index, a join index reuses primary indexes, ...).
+		for _, e := range phys.Elements() {
+			if !all.Has(e.Name) {
+				all.MustAddElement(e.Name, e.Type, e.Doc)
+			}
+		}
+		for _, dep := range stDeps {
+			if err := all.CheckDependency(dep); err != nil {
+				return nil, nil, nil, fmt.Errorf("physical: structure %s: %w", st.StructName(), err)
+			}
+			deps = append(deps, dep)
+		}
+	}
+	return phys, deps, all, nil
+}
+
+// indexedRelation resolves the row type of a relation and the type of one
+// of its attributes.
+func indexedRelation(s *schema.Schema, rel, attr string) (rowT, attrT *types.Type, err error) {
+	e := s.Element(rel)
+	if e == nil {
+		return nil, nil, fmt.Errorf("undeclared relation %q", rel)
+	}
+	if e.Type.Kind != types.KindSet || e.Type.Elem.Kind != types.KindStruct {
+		return nil, nil, fmt.Errorf("%q is not a relation (set of records): %s", rel, e.Type)
+	}
+	rowT = e.Type.Elem
+	attrT = rowT.FieldType(attr)
+	if attrT == nil {
+		return nil, nil, fmt.Errorf("relation %q has no attribute %q", rel, attr)
+	}
+	if !attrT.IsBase() {
+		return nil, nil, fmt.Errorf("attribute %s.%s is not base-typed (%s)", rel, attr, attrT)
+	}
+	return rowT, attrT, nil
+}

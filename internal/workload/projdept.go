@@ -1,0 +1,282 @@
+// Package workload provides the paper's schemas, queries and physical
+// designs as reusable catalogs, plus synthetic data generators that
+// produce instances guaranteed to satisfy the constraint sets. Every
+// experiment in EXPERIMENTS.md draws its inputs from here.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cnb/internal/core"
+	"cnb/internal/instance"
+	"cnb/internal/physical"
+	"cnb/internal/schema"
+	"cnb/internal/types"
+)
+
+// ProjDept is the paper's running example (Figures 2 and 3): the logical
+// ProjDept schema with its referential-integrity, inverse-relationship and
+// key constraints, and the physical design with the Dept class dictionary,
+// the directly stored Proj relation, primary index I, secondary index SI
+// and the materialized join-index view JI.
+type ProjDept struct {
+	Logical  *schema.Schema
+	Physical *schema.Schema
+	Combined *schema.Schema
+	// LogicalDeps are the Figure-2 constraints (RICs, INVs, KEYs).
+	LogicalDeps []*core.Dependency
+	// PhysicalDeps are the implementation-mapping constraints D′ compiled
+	// from the physical design (ΦDept, ΦI, ΦSI, ΦJI and inverses).
+	PhysicalDeps []*core.Dependency
+	// Q is the §1 query: project names with budgets and department names
+	// for customer CitiBank.
+	Q *core.Query
+}
+
+// DeptRecType is the object type of Dept class members.
+func DeptRecType() *types.Type {
+	return types.StructOf(
+		types.F("DName", types.StringT()),
+		types.F("DProjs", types.SetOf(types.StringT())),
+		types.F("MgrName", types.StringT()),
+	)
+}
+
+// ProjRowType is the row type of the Proj relation.
+func ProjRowType() *types.Type {
+	return types.StructOf(
+		types.F("PName", types.StringT()),
+		types.F("CustName", types.StringT()),
+		types.F("PDept", types.StringT()),
+		types.F("Budg", types.Int()),
+	)
+}
+
+// NewProjDept builds the catalog.
+func NewProjDept() (*ProjDept, error) {
+	logical := schema.New("ProjDept")
+	if err := logical.AddElement("Proj", types.SetOf(ProjRowType()), "projects relation"); err != nil {
+		return nil, err
+	}
+	if err := logical.AddElement("depts", types.SetOf(DeptRecType()), "Dept class extent"); err != nil {
+		return nil, err
+	}
+
+	v, n, prj, dom, lk := core.V, core.Name, core.Prj, core.Dom, core.Lk
+	mk := func(name string, prem []core.Binding, premC []core.Cond, conc []core.Binding, concC []core.Cond) *core.Dependency {
+		return &core.Dependency{Name: name, Premise: prem, PremiseConds: premC, Conclusion: conc, ConclusionConds: concC}
+	}
+	logicalDeps := []*core.Dependency{
+		// RIC1: every project name in a department is a project.
+		mk("RIC1",
+			[]core.Binding{{Var: "d", Range: n("depts")}, {Var: "s", Range: prj(v("d"), "DProjs")}}, nil,
+			[]core.Binding{{Var: "p", Range: n("Proj")}},
+			[]core.Cond{{L: v("s"), R: prj(v("p"), "PName")}}),
+		// RIC2: every project's department exists.
+		mk("RIC2",
+			[]core.Binding{{Var: "p", Range: n("Proj")}}, nil,
+			[]core.Binding{{Var: "d", Range: n("depts")}},
+			[]core.Cond{{L: prj(v("p"), "PDept"), R: prj(v("d"), "DName")}}),
+		// INV1/INV2: DProjs and PDept are inverse relationships.
+		mk("INV1",
+			[]core.Binding{{Var: "d", Range: n("depts")}, {Var: "s", Range: prj(v("d"), "DProjs")}, {Var: "p", Range: n("Proj")}},
+			[]core.Cond{{L: v("s"), R: prj(v("p"), "PName")}},
+			nil,
+			[]core.Cond{{L: prj(v("p"), "PDept"), R: prj(v("d"), "DName")}}),
+		mk("INV2",
+			[]core.Binding{{Var: "p", Range: n("Proj")}, {Var: "d", Range: n("depts")}},
+			[]core.Cond{{L: prj(v("p"), "PDept"), R: prj(v("d"), "DName")}},
+			[]core.Binding{{Var: "s", Range: prj(v("d"), "DProjs")}},
+			[]core.Cond{{L: prj(v("p"), "PName"), R: v("s")}}),
+		// KEY1/KEY2: DName keys depts, PName keys Proj.
+		mk("KEY1",
+			[]core.Binding{{Var: "a", Range: n("depts")}, {Var: "b", Range: n("depts")}},
+			[]core.Cond{{L: prj(v("a"), "DName"), R: prj(v("b"), "DName")}},
+			nil,
+			[]core.Cond{{L: v("a"), R: v("b")}}),
+		mk("KEY2",
+			[]core.Binding{{Var: "a", Range: n("Proj")}, {Var: "b", Range: n("Proj")}},
+			[]core.Cond{{L: prj(v("a"), "PName"), R: prj(v("b"), "PName")}},
+			nil,
+			[]core.Cond{{L: v("a"), R: v("b")}}),
+	}
+	for _, d := range logicalDeps {
+		if err := logical.AddDependency(d); err != nil {
+			return nil, err
+		}
+	}
+
+	// Physical design (Figure 3). The JI view is defined over the Dept
+	// dictionary, so the ClassDict must be compiled before it.
+	design := physical.NewDesign(logical)
+	design.Add(physical.DirectStorage{Name: "Proj"})
+	design.Add(physical.ClassDict{Name: "Dept", Extent: "depts", OIDType: "Doid"})
+	design.Add(physical.PrimaryIndex{Name: "I", Relation: "Proj", Key: "PName"})
+	design.Add(physical.SecondaryIndex{Name: "SI", Relation: "Proj", Attribute: "CustName"})
+	design.Add(physical.View{
+		Name: "JI",
+		Def: &core.Query{
+			Out: core.Struct(
+				core.SF("DOID", v("dd")),
+				core.SF("PN", prj(v("p"), "PName")),
+			),
+			Bindings: []core.Binding{
+				{Var: "dd", Range: dom(n("Dept"))},
+				{Var: "s", Range: prj(lk(n("Dept"), v("dd")), "DProjs")},
+				{Var: "p", Range: n("Proj")},
+			},
+			Conds: []core.Cond{{L: v("s"), R: prj(v("p"), "PName")}},
+		},
+	})
+	phys, physDeps, combined, err := design.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("PN", v("s")),
+			core.SF("PB", prj(v("p"), "Budg")),
+			core.SF("DN", prj(v("d"), "DName")),
+		),
+		Bindings: []core.Binding{
+			{Var: "d", Range: n("depts")},
+			{Var: "s", Range: prj(v("d"), "DProjs")},
+			{Var: "p", Range: n("Proj")},
+		},
+		Conds: []core.Cond{
+			{L: v("s"), R: prj(v("p"), "PName")},
+			{L: prj(v("p"), "CustName"), R: core.C("CitiBank")},
+		},
+	}
+	if _, err := combined.CheckQuery(q); err != nil {
+		return nil, fmt.Errorf("workload: paper query does not type-check: %w", err)
+	}
+
+	return &ProjDept{
+		Logical:      logical,
+		Physical:     phys,
+		Combined:     combined,
+		LogicalDeps:  logicalDeps,
+		PhysicalDeps: physDeps,
+		Q:            q,
+	}, nil
+}
+
+// AllDeps returns D ∪ D′: the logical constraints plus the implementation
+// mapping.
+func (p *ProjDept) AllDeps() []*core.Dependency {
+	out := append([]*core.Dependency(nil), p.PhysicalDeps...)
+	return append(out, p.LogicalDeps...)
+}
+
+// GenOptions controls ProjDept data generation.
+type GenOptions struct {
+	NumDepts        int
+	ProjsPerDept    int
+	NumCustomers    int     // distinct customer names
+	CitiBankShare   float64 // fraction of projects owned by "CitiBank"
+	Seed            int64
+	SkipJI          bool // leave the JI view out (for staleness tests)
+	CorruptInverses bool // deliberately violate INV1/INV2 (negative tests)
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.NumDepts == 0 {
+		o.NumDepts = 10
+	}
+	if o.ProjsPerDept == 0 {
+		o.ProjsPerDept = 5
+	}
+	if o.NumCustomers == 0 {
+		o.NumCustomers = 5
+	}
+	if o.CitiBankShare == 0 {
+		o.CitiBankShare = 0.2
+	}
+	return o
+}
+
+// Generate produces a ProjDept instance that satisfies all Figure-2
+// constraints and in which every physical structure is consistent with
+// the base data (indexes and JI are derived, not sampled).
+func (p *ProjDept) Generate(o GenOptions) *instance.Instance {
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	projSet := instance.NewSet()
+	deptsSet := instance.NewSet()
+	deptDict := instance.NewDict()
+	iDict := instance.NewDict()
+	siBuckets := map[string]*instance.Set{}
+	siKeys := map[string]instance.Value{}
+	jiSet := instance.NewSet()
+
+	custName := func() string {
+		if rng.Float64() < o.CitiBankShare {
+			return "CitiBank"
+		}
+		return fmt.Sprintf("Cust%02d", rng.Intn(o.NumCustomers))
+	}
+
+	oidSerial := 0
+	for di := 0; di < o.NumDepts; di++ {
+		dname := fmt.Sprintf("Dept%03d", di)
+		dprojs := instance.NewSet()
+		var projRows []*instance.Struct
+		for pi := 0; pi < o.ProjsPerDept; pi++ {
+			pname := fmt.Sprintf("P%03d_%03d", di, pi)
+			pdept := dname
+			if o.CorruptInverses && pi == 0 && di == 0 {
+				pdept = "NoSuchDept"
+			}
+			row := instance.StructOf(
+				"PName", instance.Str(pname),
+				"CustName", instance.Str(custName()),
+				"PDept", instance.Str(pdept),
+				"Budg", instance.Int(int64(10+rng.Intn(990))),
+			)
+			projRows = append(projRows, row)
+			dprojs.Add(instance.Str(pname))
+		}
+		dept := instance.StructOf(
+			"DName", instance.Str(dname),
+			"DProjs", dprojs,
+			"MgrName", instance.Str(fmt.Sprintf("Mgr%03d", di)),
+		)
+		deptsSet.Add(dept)
+		oid := instance.OID{TypeName: "Doid", Serial: oidSerial}
+		oidSerial++
+		deptDict.Put(oid, dept)
+
+		for _, row := range projRows {
+			projSet.Add(row)
+			pn, _ := row.Field("PName")
+			cn, _ := row.Field("CustName")
+			iDict.Put(pn, row)
+			bk := cn.Key()
+			if siBuckets[bk] == nil {
+				siBuckets[bk] = instance.NewSet()
+				siKeys[bk] = cn
+			}
+			siBuckets[bk].Add(row)
+			if !o.SkipJI {
+				jiSet.Add(instance.StructOf("DOID", oid, "PN", pn))
+			}
+		}
+	}
+	siDict := instance.NewDict()
+	for bk, bucket := range siBuckets {
+		siDict.Put(siKeys[bk], bucket)
+	}
+
+	in := instance.NewInstance()
+	in.Bind("Proj", projSet)
+	in.Bind("depts", deptsSet)
+	in.Bind("Dept", deptDict)
+	in.Bind("I", iDict)
+	in.Bind("SI", siDict)
+	in.Bind("JI", jiSet)
+	return in
+}

@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cnb/internal/core"
+	"cnb/internal/instance"
+	"cnb/internal/physical"
+	"cnb/internal/schema"
+	"cnb/internal/types"
+)
+
+// IndexOnly is the first relational scenario of §4: logical schema R(A,B,C)
+// with secondary indexes SA on A and SB on B, and the selection query
+//
+//	select r.C from R r where r.A = 5 and r.B = 9
+//
+// whose index-only access-path plan interleaves a scan of SA (filtered on
+// the key) with non-failing lookups into SB.
+type IndexOnly struct {
+	Logical  *schema.Schema
+	Physical *schema.Schema
+	Combined *schema.Schema
+	Deps     []*core.Dependency
+	Q        *core.Query
+}
+
+// NewIndexOnly builds the scenario. aVal and bVal are the two selection
+// constants (the paper uses 5 and 9 generically).
+func NewIndexOnly(aVal, bVal int64) (*IndexOnly, error) {
+	logical := schema.New("RABC")
+	rowT := types.StructOf(types.F("A", types.Int()), types.F("B", types.Int()), types.F("C", types.Int()))
+	if err := logical.AddElement("R", types.SetOf(rowT), "base relation"); err != nil {
+		return nil, err
+	}
+	design := physical.NewDesign(logical)
+	design.Add(physical.DirectStorage{Name: "R"})
+	design.Add(physical.SecondaryIndex{Name: "SA", Relation: "R", Attribute: "A"})
+	design.Add(physical.SecondaryIndex{Name: "SB", Relation: "R", Attribute: "B"})
+	phys, deps, combined, err := design.Build()
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{
+		Out:      core.Prj(core.V("r"), "C"),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+		Conds: []core.Cond{
+			{L: core.Prj(core.V("r"), "A"), R: core.C(aVal)},
+			{L: core.Prj(core.V("r"), "B"), R: core.C(bVal)},
+		},
+	}
+	if _, err := combined.CheckQuery(q); err != nil {
+		return nil, err
+	}
+	return &IndexOnly{Logical: logical, Physical: phys, Combined: combined, Deps: deps, Q: q}, nil
+}
+
+// Generate produces an R instance with derived SA/SB indexes. Values of A
+// and B are drawn from [0, domainA) and [0, domainB).
+func (s *IndexOnly) Generate(n, domainA, domainB int, seed int64) *instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	r := instance.NewSet()
+	sa := map[int64]*instance.Set{}
+	sb := map[int64]*instance.Set{}
+	for i := 0; i < n; i++ {
+		a := int64(rng.Intn(domainA))
+		b := int64(rng.Intn(domainB))
+		row := instance.StructOf("A", instance.Int(a), "B", instance.Int(b), "C", instance.Int(int64(i)))
+		r.Add(row)
+		if sa[a] == nil {
+			sa[a] = instance.NewSet()
+		}
+		sa[a].Add(row)
+		if sb[b] == nil {
+			sb[b] = instance.NewSet()
+		}
+		sb[b].Add(row)
+	}
+	saDict := instance.NewDict()
+	for k, set := range sa {
+		saDict.Put(instance.Int(k), set)
+	}
+	sbDict := instance.NewDict()
+	for k, set := range sb {
+		sbDict.Put(instance.Int(k), set)
+	}
+	in := instance.NewInstance()
+	in.Bind("R", r)
+	in.Bind("SA", saDict)
+	in.Bind("SB", sbDict)
+	return in
+}
+
+// ViewIndex is the second relational scenario of §4: R(A,B) ⋈ S(B,C) with
+// a materialized view V = π_A(R ⋈ S) and secondary indexes IR on R.A and
+// IS on S.B. The optimal plan scans V and navigates both indexes.
+type ViewIndex struct {
+	Logical  *schema.Schema
+	Physical *schema.Schema
+	Combined *schema.Schema
+	Deps     []*core.Dependency
+	Q        *core.Query
+}
+
+// NewViewIndex builds the scenario.
+func NewViewIndex() (*ViewIndex, error) {
+	logical := schema.New("RS")
+	rT := types.StructOf(types.F("A", types.Int()), types.F("B", types.Int()))
+	sT := types.StructOf(types.F("B", types.Int()), types.F("C", types.Int()))
+	if err := logical.AddElement("R", types.SetOf(rT), "left relation"); err != nil {
+		return nil, err
+	}
+	if err := logical.AddElement("S", types.SetOf(sT), "right relation"); err != nil {
+		return nil, err
+	}
+	design := physical.NewDesign(logical)
+	design.Add(physical.DirectStorage{Name: "R"})
+	design.Add(physical.DirectStorage{Name: "S"})
+	design.Add(physical.SecondaryIndex{Name: "IR", Relation: "R", Attribute: "A"})
+	design.Add(physical.SecondaryIndex{Name: "IS", Relation: "S", Attribute: "B"})
+	design.Add(physical.View{
+		Name: "V",
+		Def: &core.Query{
+			Out: core.Struct(core.SF("A", core.Prj(core.V("r"), "A"))),
+			Bindings: []core.Binding{
+				{Var: "r", Range: core.Name("R")},
+				{Var: "s", Range: core.Name("S")},
+			},
+			Conds: []core.Cond{{L: core.Prj(core.V("r"), "B"), R: core.Prj(core.V("s"), "B")}},
+		},
+	})
+	phys, deps, combined, err := design.Build()
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("A", core.Prj(core.V("r"), "A")),
+			core.SF("B", core.Prj(core.V("s"), "B")),
+			core.SF("C", core.Prj(core.V("s"), "C")),
+		),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.Name("R")},
+			{Var: "s", Range: core.Name("S")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("r"), "B"), R: core.Prj(core.V("s"), "B")}},
+	}
+	if _, err := combined.CheckQuery(q); err != nil {
+		return nil, err
+	}
+	return &ViewIndex{Logical: logical, Physical: phys, Combined: combined, Deps: deps, Q: q}, nil
+}
+
+// Generate produces R, S with derived V, IR, IS. joinSelectivity controls
+// how many R rows find S partners (share of B values in common).
+func (s *ViewIndex) Generate(nR, nS, domainB int, seed int64) *instance.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	rSet := instance.NewSet()
+	sSet := instance.NewSet()
+	type rRow struct{ a, b int64 }
+	var rRows []rRow
+	for i := 0; i < nR; i++ {
+		a, b := int64(i), int64(rng.Intn(domainB))
+		rRows = append(rRows, rRow{a, b})
+		rSet.Add(instance.StructOf("A", instance.Int(a), "B", instance.Int(b)))
+	}
+	type sRow struct{ b, c int64 }
+	var sRows []sRow
+	for i := 0; i < nS; i++ {
+		b, c := int64(rng.Intn(domainB)), int64(i)
+		sRows = append(sRows, sRow{b, c})
+		sSet.Add(instance.StructOf("B", instance.Int(b), "C", instance.Int(c)))
+	}
+	// Derived structures.
+	ir := map[int64]*instance.Set{}
+	for _, r := range rRows {
+		if ir[r.a] == nil {
+			ir[r.a] = instance.NewSet()
+		}
+		ir[r.a].Add(instance.StructOf("A", instance.Int(r.a), "B", instance.Int(r.b)))
+	}
+	is := map[int64]*instance.Set{}
+	for _, s := range sRows {
+		if is[s.b] == nil {
+			is[s.b] = instance.NewSet()
+		}
+		is[s.b].Add(instance.StructOf("B", instance.Int(s.b), "C", instance.Int(s.c)))
+	}
+	vSet := instance.NewSet()
+	sByB := map[int64]bool{}
+	for _, s := range sRows {
+		sByB[s.b] = true
+	}
+	for _, r := range rRows {
+		if sByB[r.b] {
+			vSet.Add(instance.StructOf("A", instance.Int(r.a)))
+		}
+	}
+	irDict := instance.NewDict()
+	for k, set := range ir {
+		irDict.Put(instance.Int(k), set)
+	}
+	isDict := instance.NewDict()
+	for k, set := range is {
+		isDict.Put(instance.Int(k), set)
+	}
+	in := instance.NewInstance()
+	in.Bind("R", rSet)
+	in.Bind("S", sSet)
+	in.Bind("V", vSet)
+	in.Bind("IR", irDict)
+	in.Bind("IS", isDict)
+	return in
+}
+
+// Chain builds a chain-join scenario for the scaling experiments (E6/E9):
+// relations R0(A,B), R1(A,B), ..., R_{n-1}(A,B) joined on Ri.B = Ri+1.A,
+// with a materialized view Vi = Ri ⋈ Ri+1 for every adjacent pair
+// (views up to numViews). The query joins the whole chain.
+type Chain struct {
+	Logical  *schema.Schema
+	Physical *schema.Schema
+	Combined *schema.Schema
+	Deps     []*core.Dependency
+	Q        *core.Query
+	N        int
+}
+
+// NewChain builds a chain of length n with the given number of pairwise
+// views (0 <= numViews <= n-1).
+func NewChain(n, numViews int) (*Chain, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: chain length must be >= 1")
+	}
+	logical := schema.New(fmt.Sprintf("Chain%d", n))
+	rowT := types.StructOf(types.F("A", types.Int()), types.F("B", types.Int()))
+	for i := 0; i < n; i++ {
+		if err := logical.AddElement(rel(i), types.SetOf(rowT), "chain relation"); err != nil {
+			return nil, err
+		}
+	}
+	design := physical.NewDesign(logical)
+	for i := 0; i < n; i++ {
+		design.Add(physical.DirectStorage{Name: rel(i)})
+	}
+	for i := 0; i < numViews && i < n-1; i++ {
+		design.Add(physical.View{
+			Name: fmt.Sprintf("V%d", i),
+			Def: &core.Query{
+				Out: core.Struct(
+					core.SF("A", core.Prj(core.V("x"), "A")),
+					core.SF("B", core.Prj(core.V("y"), "B")),
+				),
+				Bindings: []core.Binding{
+					{Var: "x", Range: core.Name(rel(i))},
+					{Var: "y", Range: core.Name(rel(i + 1))},
+				},
+				Conds: []core.Cond{{L: core.Prj(core.V("x"), "B"), R: core.Prj(core.V("y"), "A")}},
+			},
+		})
+	}
+	phys, deps, combined, err := design.Build()
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("First", core.Prj(core.V("x0"), "A")),
+			core.SF("Last", core.Prj(core.V(xvar(n-1)), "B")),
+		),
+	}
+	for i := 0; i < n; i++ {
+		q.Bindings = append(q.Bindings, core.Binding{Var: xvar(i), Range: core.Name(rel(i))})
+		if i > 0 {
+			q.Conds = append(q.Conds, core.Cond{
+				L: core.Prj(core.V(xvar(i-1)), "B"),
+				R: core.Prj(core.V(xvar(i)), "A"),
+			})
+		}
+	}
+	if _, err := combined.CheckQuery(q); err != nil {
+		return nil, err
+	}
+	return &Chain{Logical: logical, Physical: phys, Combined: combined, Deps: deps, Q: q, N: n}, nil
+}
+
+func rel(i int) string  { return fmt.Sprintf("R%d", i) }
+func xvar(i int) string { return fmt.Sprintf("x%d", i) }
+
+// Generate produces chain relation instances where each Ri has rows
+// (k, k) for k in [0, size): every chain join succeeds, and the derived
+// views are consistent.
+func (c *Chain) Generate(size int) *instance.Instance {
+	in := instance.NewInstance()
+	for i := 0; i < c.N; i++ {
+		set := instance.NewSet()
+		for k := 0; k < size; k++ {
+			set.Add(instance.StructOf("A", instance.Int(int64(k)), "B", instance.Int(int64(k))))
+		}
+		in.Bind(rel(i), set)
+	}
+	for _, e := range c.Physical.Elements() {
+		if len(e.Name) > 1 && e.Name[0] == 'V' {
+			set := instance.NewSet()
+			for k := 0; k < size; k++ {
+				set.Add(instance.StructOf("A", instance.Int(int64(k)), "B", instance.Int(int64(k))))
+			}
+			in.Bind(e.Name, set)
+		}
+	}
+	return in
+}

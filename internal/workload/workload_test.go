@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"testing"
+
+	"cnb/internal/core"
+	"cnb/internal/eval"
+	"cnb/internal/instance"
+)
+
+func TestProjDeptCatalog(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical schema: Proj and depts.
+	for _, n := range []string{"Proj", "depts"} {
+		if !pd.Logical.Has(n) {
+			t.Errorf("logical schema missing %s", n)
+		}
+	}
+	// Physical schema: Figure 3 elements.
+	for _, n := range []string{"Proj", "Dept", "I", "SI", "JI"} {
+		if !pd.Physical.Has(n) {
+			t.Errorf("physical schema missing %s", n)
+		}
+	}
+	if len(pd.LogicalDeps) != 6 {
+		t.Errorf("logical constraints = %d, want 6 (2 RIC + 2 INV + 2 KEY)", len(pd.LogicalDeps))
+	}
+	// Physical constraints: Dept 2, I 2, SI 3, JI 2.
+	if len(pd.PhysicalDeps) != 9 {
+		t.Errorf("physical constraints = %d, want 9", len(pd.PhysicalDeps))
+	}
+	// All constraints type-check against the combined schema.
+	for _, d := range pd.AllDeps() {
+		if err := pd.Combined.CheckDependency(d); err != nil {
+			t.Errorf("dependency %s does not type-check: %v", d.Name, err)
+		}
+	}
+	if _, err := pd.Combined.CheckQuery(pd.Q); err != nil {
+		t.Errorf("paper query does not type-check: %v", err)
+	}
+}
+
+func TestProjDeptGenerateSatisfiesConstraints(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pd.Generate(GenOptions{NumDepts: 6, ProjsPerDept: 4, Seed: 42})
+	name, err := eval.SatisfiesAll(pd.AllDeps(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("generated instance violates %s", name)
+	}
+}
+
+func TestProjDeptGenerateDeterministic(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pd.Generate(GenOptions{Seed: 7})
+	b := pd.Generate(GenOptions{Seed: 7})
+	ra, _ := a.Lookup("Proj")
+	rb, _ := b.Lookup("Proj")
+	if ra.Key() != rb.Key() {
+		t.Error("same seed must generate identical data")
+	}
+	c := pd.Generate(GenOptions{Seed: 8})
+	rc, _ := c.Lookup("Proj")
+	if ra.Key() == rc.Key() {
+		t.Error("different seeds should generate different data")
+	}
+}
+
+func TestProjDeptQueryHasResults(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pd.Generate(GenOptions{NumDepts: 10, ProjsPerDept: 5, CitiBankShare: 0.5, Seed: 1})
+	res, err := eval.Query(pd.Q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("paper query should return rows with a 0.5 CitiBank share")
+	}
+}
+
+func TestProjDeptCorruptInversesViolates(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pd.Generate(GenOptions{CorruptInverses: true, Seed: 3})
+	name, err := eval.SatisfiesAll(pd.LogicalDeps, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Error("corrupted instance should violate a constraint")
+	}
+}
+
+func TestProjDeptSkipJI(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pd.Generate(GenOptions{SkipJI: true, Seed: 3})
+	ji, ok := in.Lookup("JI")
+	if !ok {
+		t.Fatal("JI should still be bound (empty)")
+	}
+	if ji.(*instance.Set).Len() != 0 {
+		t.Error("SkipJI should leave JI empty")
+	}
+	// An empty JI violates the forward view constraint.
+	name, err := eval.SatisfiesAll(pd.PhysicalDeps, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Error("stale JI should violate PhiJI")
+	}
+}
+
+func TestIndexOnlyCatalogAndData(t *testing.T) {
+	sc, err := NewIndexOnly(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"R", "SA", "SB"} {
+		if !sc.Physical.Has(n) {
+			t.Errorf("physical schema missing %s", n)
+		}
+	}
+	in := sc.Generate(200, 10, 10, 11)
+	name, err := eval.SatisfiesAll(sc.Deps, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("generated instance violates %s", name)
+	}
+	res, err := eval.Query(sc.Q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selectivity 1/100 over 200 rows: expect ~2 rows; must not error.
+	_ = res
+}
+
+func TestViewIndexCatalogAndData(t *testing.T) {
+	sc, err := NewViewIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"R", "S", "V", "IR", "IS"} {
+		if !sc.Physical.Has(n) {
+			t.Errorf("physical schema missing %s", n)
+		}
+	}
+	in := sc.Generate(50, 50, 20, 5)
+	name, err := eval.SatisfiesAll(sc.Deps, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("generated instance violates %s", name)
+	}
+	res, err := eval.Query(sc.Q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("join should produce rows with domainB=20 over 50x50")
+	}
+}
+
+func TestChainCatalog(t *testing.T) {
+	c, err := NewChain(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Q.Bindings) != 4 || len(c.Q.Conds) != 3 {
+		t.Errorf("chain query shape wrong: %s", c.Q)
+	}
+	if !c.Physical.Has("V0") || !c.Physical.Has("V1") || c.Physical.Has("V2") {
+		t.Error("chain views wrong")
+	}
+	in := c.Generate(5)
+	name, err := eval.SatisfiesAll(c.Deps, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "" {
+		t.Errorf("chain instance violates %s", name)
+	}
+	res, err := eval.Query(c.Q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 {
+		t.Errorf("chain join = %d rows, want 5", res.Len())
+	}
+}
+
+func TestChainRejectsZeroLength(t *testing.T) {
+	if _, err := NewChain(0, 0); err == nil {
+		t.Error("chain of length 0 must be rejected")
+	}
+}
+
+// TestProjDeptPaperPlansEquivalentOnData executes hand-written versions of
+// the paper's P1..P4 against generated instances and checks they agree
+// with the logical query Q — the empirical half of the soundness story.
+func TestProjDeptPaperPlansEquivalentOnData(t *testing.T) {
+	pd, err := NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, n, prj, dom, lk, lknf := core.V, core.Name, core.Prj, core.Dom, core.Lk, core.LkNF
+
+	p1 := &core.Query{
+		Out: core.Struct(
+			core.SF("PN", v("s")),
+			core.SF("PB", prj(v("p"), "Budg")),
+			core.SF("DN", prj(lk(n("Dept"), v("d")), "DName")),
+		),
+		Bindings: []core.Binding{
+			{Var: "d", Range: dom(n("Dept"))},
+			{Var: "s", Range: prj(lk(n("Dept"), v("d")), "DProjs")},
+			{Var: "p", Range: n("Proj")},
+		},
+		Conds: []core.Cond{
+			{L: v("s"), R: prj(v("p"), "PName")},
+			{L: prj(v("p"), "CustName"), R: core.C("CitiBank")},
+		},
+	}
+	p2 := &core.Query{
+		Out: core.Struct(
+			core.SF("PN", prj(v("p"), "PName")),
+			core.SF("PB", prj(v("p"), "Budg")),
+			core.SF("DN", prj(v("p"), "PDept")),
+		),
+		Bindings: []core.Binding{{Var: "p", Range: n("Proj")}},
+		Conds:    []core.Cond{{L: prj(v("p"), "CustName"), R: core.C("CitiBank")}},
+	}
+	p3 := &core.Query{
+		Out: core.Struct(
+			core.SF("PN", prj(v("p"), "PName")),
+			core.SF("PB", prj(v("p"), "Budg")),
+			core.SF("DN", prj(v("p"), "PDept")),
+		),
+		Bindings: []core.Binding{{Var: "p", Range: lknf(n("SI"), core.C("CitiBank"))}},
+	}
+	p4 := &core.Query{
+		Out: core.Struct(
+			core.SF("PN", prj(v("j"), "PN")),
+			core.SF("PB", prj(lk(n("I"), prj(v("j"), "PN")), "Budg")),
+			core.SF("DN", prj(lk(n("Dept"), prj(v("j"), "DOID")), "DName")),
+		),
+		Bindings: []core.Binding{{Var: "j", Range: n("JI")}},
+		Conds: []core.Cond{
+			{L: prj(lk(n("I"), prj(v("j"), "PN")), "CustName"), R: core.C("CitiBank")},
+		},
+	}
+
+	for seed := int64(0); seed < 3; seed++ {
+		in := pd.Generate(GenOptions{NumDepts: 8, ProjsPerDept: 4, CitiBankShare: 0.3, Seed: seed})
+		want, err := eval.Query(pd.Q, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, plan := range []*core.Query{p1, p2, p3, p4} {
+			got, err := eval.Query(plan, in)
+			if err != nil {
+				t.Fatalf("P%d failed: %v", i+1, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("P%d differs from Q on seed %d:\nQ  = %s\nP%d = %s", i+1, seed, want, i+1, got)
+			}
+		}
+	}
+}
