@@ -1,0 +1,34 @@
+# CI entry points for the chase & backchase optimizer.
+#
+#   make ci      - everything a regression gate needs: vet, build, the
+#                  full test suite under the race detector (the parallel
+#                  backchase engine is exercised concurrently throughout),
+#                  and a one-iteration benchmark smoke so the benchmark
+#                  harness itself cannot rot.
+#   make test    - fast feedback: plain test run, no race detector.
+#   make race    - race-detector run of the concurrency-heavy packages.
+#   make bench   - the real benchmark sweep (longer).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

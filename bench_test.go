@@ -7,6 +7,8 @@
 package cnb_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"cnb/internal/backchase"
@@ -53,6 +55,7 @@ func BenchmarkE8PlanExecution(b *testing.B) { benchExperiment(b, "E8") }
 func BenchmarkE9OptTime(b *testing.B)       { benchExperiment(b, "E9") }
 func BenchmarkE10Gmap(b *testing.B)         { benchExperiment(b, "E10") }
 func BenchmarkE11Semantic(b *testing.B)     { benchExperiment(b, "E11") }
+func BenchmarkE12Parallel(b *testing.B)     { benchExperiment(b, "E12") }
 
 // --- pipeline phase micro-benchmarks --------------------------------------
 
@@ -105,6 +108,37 @@ func BenchmarkOptimizeProjDept(b *testing.B) {
 		if _, err := optimizer.Optimize(pd.Q, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBackchaseParallel measures the worker-pool enumeration against
+// the serial engine on a multi-scan workload: a chain query with
+// adjacent-pair views, whose universal plan has many redundant scans and
+// an exponential subquery lattice. Compare the Parallelism=1 and
+// Parallelism=N sub-benchmarks for the speedup on the optimizer's hot
+// path.
+func BenchmarkBackchaseParallel(b *testing.B) {
+	c, err := workload.NewChain(5, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chased, err := chase.Chase(c.Q, c.Deps, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pars := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		pars = append(pars, n)
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := backchase.Enumerate(chased.Query, c.Deps, backchase.Options{Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

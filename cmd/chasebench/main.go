@@ -19,10 +19,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "run a single experiment (e.g. E1)")
-		list = flag.Bool("list", false, "list experiments and exit")
+		exp         = flag.String("exp", "", "run a single experiment (e.g. E1)")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		parallelism = flag.Int("parallelism", 0, "backchase worker count (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
+	bench.Parallelism = *parallelism
 
 	if *list {
 		for _, e := range bench.All() {

@@ -56,9 +56,10 @@ query Q:
 
 func main() {
 	var (
-		designName = flag.String("design", "", "physical design to optimize against (default: the only one)")
-		showAll    = flag.Bool("all", false, "print every candidate plan, not only the best")
-		example    = flag.Bool("example", false, "run the built-in ProjDept example")
+		designName  = flag.String("design", "", "physical design to optimize against (default: the only one)")
+		showAll     = flag.Bool("all", false, "print every candidate plan, not only the best")
+		example     = flag.Bool("example", false, "run the built-in ProjDept example")
+		parallelism = flag.Int("parallelism", 0, "backchase worker count (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		res, err := optimizer.Optimize(q, optimizer.Options{
 			Deps:          deps,
 			PhysicalNames: physNames,
+			Parallelism:   *parallelism,
 		})
 		if err != nil {
 			fatal("optimizing %s: %v", name, err)

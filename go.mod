@@ -1,0 +1,3 @@
+module cnb
+
+go 1.24

@@ -19,9 +19,11 @@
 package backchase
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
 
 	"cnb/internal/chase"
 	"cnb/internal/congruence"
@@ -40,6 +42,11 @@ type Options struct {
 	// inputs — the search space is exponential in the number of
 	// redundant bindings (§5).
 	MaxStates int
+	// Parallelism is the number of workers exploring the subquery
+	// lattice concurrently (0 = runtime.GOMAXPROCS(0), 1 = serial).
+	// For runs that finish without truncation the result is identical
+	// for every value.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,7 +56,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result holds the outcome of a backchase enumeration.
+// Result holds the outcome of a backchase enumeration. Plans and
+// Explored are reported in canonical order (plans by size then
+// signature, states by removal-set key), so complete runs produce
+// byte-identical results regardless of Options.Parallelism or worker
+// scheduling.
 type Result struct {
 	// Plans are the distinct normal forms (minimal equivalent subqueries),
 	// deduplicated by renaming-invariant signature.
@@ -77,33 +88,46 @@ type Result struct {
 // one) makes the search at least as complete as chaining single steps
 // through intermediate states.
 func Enumerate(q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
+	return EnumerateContext(context.Background(), q, deps, opts)
+}
+
+// EnumerateContext is Enumerate with cancellation: workers observe the
+// context between candidate checks and inside every embedded chase run,
+// so cancellation terminates the pool promptly. On cancellation it
+// returns the partial Result collected so far together with ctx.Err().
+func EnumerateContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	e, err := newEnumerator(q, deps, opts)
+	e, err := newEngine(ctx, q, deps, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.visit(map[string]bool{}, q); err != nil {
-		return nil, err
-	}
-	res := &Result{States: len(e.seen), Truncated: e.truncated}
-	res.Plans = append(res.Plans, e.plansInOrder...)
-	res.Explored = append(res.Explored, e.explored...)
-	return res, nil
+	return e.enumerate(ctx, opts.parallelismOrDefault())
 }
 
 // MinimizeOne performs a greedy backchase: repeatedly apply the first
 // sound removal until none applies, returning a single (normalized)
-// minimal plan. Deterministic: bindings are tried in order.
+// minimal plan. Deterministic regardless of parallelism: bindings are
+// tried in order and the first sound removal (lowest binding index) is
+// always the one taken.
 func MinimizeOne(q *core.Query, deps []*core.Dependency, opts Options) (*core.Query, error) {
+	return MinimizeOneContext(context.Background(), q, deps, opts)
+}
+
+// MinimizeOneContext is MinimizeOne with cancellation. With
+// Parallelism > 1 the candidate removals of each greedy round are
+// verified concurrently (sharing the engine's memoized chase-result
+// cache across rounds).
+func MinimizeOneContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*core.Query, error) {
 	opts = opts.withDefaults()
-	e, err := newEnumerator(q, deps, opts)
+	e, err := newEngine(ctx, q, deps, opts)
 	if err != nil {
 		return nil, err
 	}
+	par := opts.parallelismOrDefault()
 	removed := map[string]bool{}
 	cur := q.Clone()
 	for {
-		next, nextQ, err := e.firstRemoval(removed, cur)
+		next, nextQ, err := e.firstRemoval(ctx, par, removed, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -116,199 +140,21 @@ func MinimizeOne(q *core.Query, deps []*core.Dependency, opts Options) (*core.Qu
 
 // IsMinimal reports whether no backchase step applies to q under deps.
 func IsMinimal(q *core.Query, deps []*core.Dependency, opts Options) (bool, error) {
+	return IsMinimalContext(context.Background(), q, deps, opts)
+}
+
+// IsMinimalContext is IsMinimal with cancellation.
+func IsMinimalContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (bool, error) {
 	opts = opts.withDefaults()
-	e, err := newEnumerator(q, deps, opts)
+	e, err := newEngine(ctx, q, deps, opts)
 	if err != nil {
 		return false, err
 	}
-	next, _, err := e.firstRemoval(map[string]bool{}, q)
+	next, _, err := e.firstRemoval(ctx, opts.parallelismOrDefault(), map[string]bool{}, q)
 	if err != nil {
 		return false, err
 	}
 	return next == nil, nil
-}
-
-type enumerator struct {
-	deps         []*core.Dependency
-	opts         Options
-	seen         map[string]bool
-	plans        map[string]*core.Query
-	plansInOrder []*core.Query
-	explored     []*core.Query
-	truncated    bool
-
-	// root is the query every explored state must stay equivalent to.
-	// rootCanon is the canonical database of chase(root), computed once:
-	// root ⊑ sub is checked by mapping sub into it.
-	root      *core.Query
-	rootCanon *chase.Canon
-	// eqCache memoizes "is Subquery(root, removed) equivalent to root",
-	// keyed by the canonical surviving-variable set.
-	eqCache map[string]bool
-	// subCache memoizes the subquery construction per surviving set.
-	subCache map[string]*core.Query
-}
-
-func newEnumerator(q *core.Query, deps []*core.Dependency, opts Options) (*enumerator, error) {
-	res, err := chase.Chase(q, deps, opts.Chase)
-	if err != nil {
-		return nil, err
-	}
-	return &enumerator{
-		deps:      deps,
-		opts:      opts,
-		seen:      map[string]bool{},
-		plans:     map[string]*core.Query{},
-		root:      q,
-		rootCanon: chase.NewCanon(res.Query),
-		eqCache:   map[string]bool{},
-		subCache:  map[string]*core.Query{},
-	}, nil
-}
-
-// stateKey canonicalizes a removal set.
-func (e *enumerator) stateKey(removed map[string]bool) string {
-	var sb strings.Builder
-	for _, b := range e.root.Bindings {
-		if removed[b.Var] {
-			sb.WriteString(b.Var)
-			sb.WriteByte(';')
-		}
-	}
-	return sb.String()
-}
-
-// visit explores the state identified by the removal set; cur is
-// Subquery(root, removed) (the root itself for the empty set).
-func (e *enumerator) visit(removed map[string]bool, cur *core.Query) error {
-	key := e.stateKey(removed)
-	if e.seen[key] {
-		return nil
-	}
-	if len(e.seen) >= e.opts.MaxStates {
-		e.truncated = true
-		return nil
-	}
-	e.seen[key] = true
-	e.explored = append(e.explored, cur)
-
-	normal := true
-	for _, b := range cur.Bindings {
-		if e.opts.MaxPlans > 0 && len(e.plans) >= e.opts.MaxPlans {
-			e.truncated = true
-			return nil
-		}
-		next, nextQ, err := e.tryRemove(removed, b.Var)
-		if err != nil {
-			return err
-		}
-		if next == nil {
-			continue
-		}
-		normal = false
-		if err := e.visit(next, nextQ); err != nil {
-			return err
-		}
-	}
-	if normal {
-		// Normal forms are normalized (implied conditions pruned, outputs
-		// minimized) and deduplicated in normalized form: distinct raw
-		// normal forms can be the same plan up to implied equalities.
-		plan := Normalize(cur, e.deps, e.opts.Chase)
-		psig := plan.NormalizeBindingOrder().Signature()
-		if _, dup := e.plans[psig]; !dup {
-			e.plans[psig] = plan
-			e.plansInOrder = append(e.plansInOrder, plan)
-		}
-	}
-	return nil
-}
-
-func (e *enumerator) firstRemoval(removed map[string]bool, cur *core.Query) (map[string]bool, *core.Query, error) {
-	for _, b := range cur.Bindings {
-		next, nextQ, err := e.tryRemove(removed, b.Var)
-		if err != nil {
-			return nil, nil, err
-		}
-		if next != nil {
-			return next, nextQ, nil
-		}
-	}
-	return nil, nil, nil
-}
-
-// tryRemove attempts a backchase step eliminating the named binding (on
-// top of the already-removed set), cascading to dependent bindings that
-// cannot be re-expressed. Returns the grown removal set and the resulting
-// subquery, or nils if the step is unsound or impossible. Soundness is
-// equivalence to the enumeration root, which coincides with the paper's
-// per-step condition since every state is equivalent to the root.
-func (e *enumerator) tryRemove(removed map[string]bool, v string) (map[string]bool, *core.Query, error) {
-	grown := make(map[string]bool, len(removed)+1)
-	for r := range removed {
-		grown[r] = true
-	}
-	grown[v] = true
-
-	key := e.stateKey(grown)
-	sub, cached := e.subCache[key]
-	if !cached {
-		var ok bool
-		sub, ok = Subquery(e.root, grown)
-		if !ok {
-			sub = nil
-		}
-		e.subCache[key] = sub
-	}
-	if sub == nil || len(sub.Bindings) == 0 {
-		return nil, nil, nil
-	}
-	// The cascade may have removed more variables; canonicalize the set.
-	surviving := sub.BoundVars()
-	full := map[string]bool{}
-	for _, b := range e.root.Bindings {
-		if !surviving[b.Var] {
-			full[b.Var] = true
-		}
-	}
-	fullKey := e.stateKey(full)
-
-	if eq, hit := e.eqCache[fullKey]; hit {
-		if !eq {
-			return nil, nil, nil
-		}
-		return full, sub, nil
-	}
-	eq, err := e.equivalentToRoot(sub)
-	if err != nil {
-		// A budget failure on a candidate means we cannot verify the
-		// removal; treat as unsound (skip) rather than aborting the
-		// whole enumeration.
-		if _, budget := err.(*chase.ErrBudget); budget {
-			e.eqCache[fullKey] = false
-			return nil, nil, nil
-		}
-		return nil, nil, err
-	}
-	e.eqCache[fullKey] = eq
-	if !eq {
-		return nil, nil, nil
-	}
-	return full, sub, nil
-}
-
-// equivalentToRoot checks sub ≡ root under the dependencies.
-// Direction root ⊑ sub: containment mapping from sub into the precomputed
-// chase(root). Direction sub ⊑ root: chase(sub), then map root into it.
-func (e *enumerator) equivalentToRoot(sub *core.Query) (bool, error) {
-	// root ⊑ sub (cheap).
-	avoid := e.rootCanon.Q.BoundVars()
-	subF := sub.RenameVars(core.FreshRenaming("h_", avoid))
-	if len(e.rootCanon.HomsOfQueryInto(subF, e.rootCanon.Q.Out, 1)) == 0 {
-		return false, nil
-	}
-	// sub ⊑ root.
-	return contained(sub, e.root, e.deps, e.opts.Chase)
 }
 
 // Subquery computes the induced subquery of q after removing the bindings
@@ -588,21 +434,21 @@ func topoSortBindings(bs []core.Binding) ([]core.Binding, bool) {
 	return out, true
 }
 
-// equivalent decides Q1 ≡ Q2 under deps with chase-based containment in
-// both directions: Qi ⊑ Qj iff there is a containment mapping
-// (homomorphism with output match) from Qj into chase(Qi).
-func equivalent(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
-	c1, err := contained(q1, q2, deps, opts)
+// equivalentContext decides Q1 ≡ Q2 under deps with chase-based
+// containment in both directions: Qi ⊑ Qj iff there is a containment
+// mapping (homomorphism with output match) from Qj into chase(Qi).
+func equivalentContext(ctx context.Context, q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
+	c1, err := containedContext(ctx, q1, q2, deps, opts)
 	if err != nil || !c1 {
 		return false, err
 	}
-	return contained(q2, q1, deps, opts)
+	return containedContext(ctx, q2, q1, deps, opts)
 }
 
-// contained decides Q1 ⊑ Q2 under deps (every answer of Q1 is an answer
-// of Q2 on instances satisfying deps).
-func contained(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
-	res, err := chase.Chase(q1, deps, opts)
+// containedContext decides Q1 ⊑ Q2 under deps (every answer of Q1 is an
+// answer of Q2 on instances satisfying deps).
+func containedContext(ctx context.Context, q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
+	res, err := chase.ChaseContext(ctx, q1, deps, opts)
 	if err != nil {
 		return false, err
 	}
@@ -620,13 +466,13 @@ func contained(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) 
 // Equivalent is the exported chase-based equivalence test under
 // dependencies.
 func Equivalent(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
-	return equivalent(q1, q2, deps, opts)
+	return equivalentContext(context.Background(), q1, q2, deps, opts)
 }
 
 // Contained is the exported chase-based containment test under
 // dependencies: Q1 ⊑ Q2.
 func Contained(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
-	return contained(q1, q2, deps, opts)
+	return containedContext(context.Background(), q1, q2, deps, opts)
 }
 
 // BruteForceMinimal enumerates all subsets of q's bindings directly
@@ -634,6 +480,14 @@ func Contained(q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) 
 // reference implementation used to validate Theorem 2 in tests and the E7
 // experiment; use Enumerate in production.
 func BruteForceMinimal(q *core.Query, deps []*core.Dependency, opts Options) ([]*core.Query, error) {
+	return BruteForceMinimalContext(context.Background(), q, deps, opts)
+}
+
+// BruteForceMinimalContext is BruteForceMinimal with cancellation. The
+// 2^n subset checks are independent, so they are fanned out across
+// Options.Parallelism workers; candidates are collected indexed by mask,
+// keeping the result deterministic.
+func BruteForceMinimalContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) ([]*core.Query, error) {
 	opts = opts.withDefaults()
 	n := len(q.Bindings)
 	if n > 20 {
@@ -643,8 +497,7 @@ func BruteForceMinimal(q *core.Query, deps []*core.Dependency, opts Options) ([]
 		q    *core.Query
 		size int
 	}
-	var equivalents []cand
-	for mask := 0; mask < (1 << n); mask++ {
+	checkMask := func(mask int) (*cand, error) {
 		removed := map[string]bool{}
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
@@ -652,23 +505,82 @@ func BruteForceMinimal(q *core.Query, deps []*core.Dependency, opts Options) ([]
 			}
 		}
 		if len(removed) == n {
-			continue
+			return nil, nil
 		}
 		sub, ok := Subquery(q, removed)
 		if !ok {
-			continue
+			return nil, nil
 		}
 		// The cascade may have removed more than the mask requested; skip
 		// duplicates via signature dedup below.
-		eq, err := equivalent(sub, q, deps, opts.Chase)
+		eq, err := equivalentContext(ctx, sub, q, deps, opts.Chase)
 		if err != nil {
 			if _, budget := err.(*chase.ErrBudget); budget {
-				continue
+				return nil, nil
 			}
 			return nil, err
 		}
-		if eq {
-			equivalents = append(equivalents, cand{q: sub, size: len(sub.Bindings)})
+		if !eq {
+			return nil, nil
+		}
+		return &cand{q: sub, size: len(sub.Bindings)}, nil
+	}
+
+	total := 1 << n
+	byMask := make([]*cand, total)
+	par := opts.parallelismOrDefault()
+	if par > total {
+		par = total
+	}
+	// A hard error on any mask cancels the sweep: without it the other
+	// workers would chase every remaining subset before the error could
+	// be returned.
+	ctx, cancelSweep := context.WithCancel(ctx)
+	defer cancelSweep()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancelSweep()
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mask := int(next.Add(1)) - 1
+				if mask >= total {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					recordErr(err)
+					return
+				}
+				c, err := checkMask(mask)
+				if err != nil {
+					recordErr(err)
+					return
+				}
+				byMask[mask] = c
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var equivalents []cand
+	for _, c := range byMask {
+		if c != nil {
+			equivalents = append(equivalents, *c)
 		}
 	}
 	// Keep the minimal ones: no strictly smaller equivalent subquery of

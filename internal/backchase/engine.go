@@ -1,0 +1,616 @@
+// Parallel memoized backchase engine.
+//
+// The subquery lattice explored by the backchase is a DAG of states, each
+// state a removal set of the root's binding variables (canonicalized by
+// stateKey). Exploration order does not affect which states are reachable
+// or which of them are normal forms — soundness of a removal is
+// "equivalence of the induced subquery to the root", a property of the
+// state alone — so the search parallelizes: a pool of workers pops states
+// from a shared unbounded work queue, claims successors in a sharded
+// visited set, and memoizes the expensive chase-based equivalence checks
+// in a sharded single-flight cache so no canonically identical subquery
+// is ever re-chased, even when two workers race to the same state.
+//
+// Determinism: results are reported in a canonical order (plans sorted by
+// size then renaming-invariant signature, explored states by removal-set
+// key), so for runs that complete without truncation or cancellation the
+// Result is identical for every Parallelism value and across repeated
+// runs. Under a MaxStates/MaxPlans cap or cancellation, *which* states
+// get explored depends on scheduling; only then can results differ.
+//
+// Each equivalence check works on a pristine Clone of the root's
+// canonical database (congruence closures mutate even on reads — see the
+// congruence package comment), which both makes concurrent checks safe
+// and keeps every check independent of what other checks interned before
+// it.
+package backchase
+
+import (
+	"context"
+	"errors"
+	"hash/maphash"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cnb/internal/chase"
+	"cnb/internal/core"
+)
+
+const numShards = 32
+
+// stateItem is one unit of work: a claimed state of the subquery lattice.
+type stateItem struct {
+	key     string          // canonical stateKey of removed
+	removed map[string]bool // removed binding variables of the root
+	q       *core.Query     // Subquery(root, removed)
+}
+
+// workQueue is an unbounded FIFO with done-tracking: pending counts items
+// enqueued but not yet fully processed, so workers can distinguish "queue
+// momentarily empty" from "exploration finished".
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []stateItem
+	head    int
+	pending int
+	stopped bool
+}
+
+func newWorkQueue() *workQueue {
+	wq := &workQueue{}
+	wq.cond = sync.NewCond(&wq.mu)
+	return wq
+}
+
+func (wq *workQueue) push(it stateItem) {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	if wq.stopped {
+		return
+	}
+	wq.items = append(wq.items, it)
+	wq.pending++
+	wq.cond.Signal()
+}
+
+// pop blocks until an item is available or the exploration is over
+// (stopped, or no items left and none in flight).
+func (wq *workQueue) pop() (stateItem, bool) {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	for {
+		if wq.stopped {
+			return stateItem{}, false
+		}
+		if wq.head < len(wq.items) {
+			it := wq.items[wq.head]
+			wq.items[wq.head] = stateItem{} // release for GC
+			wq.head++
+			return it, true
+		}
+		if wq.pending == 0 {
+			return stateItem{}, false
+		}
+		wq.cond.Wait()
+	}
+}
+
+// taskDone marks one popped item fully processed (its successors pushed).
+func (wq *workQueue) taskDone() {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	wq.pending--
+	if wq.pending == 0 {
+		wq.cond.Broadcast()
+	}
+}
+
+// stop aborts the exploration: blocked workers wake and exit.
+func (wq *workQueue) stop() {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	wq.stopped = true
+	wq.cond.Broadcast()
+}
+
+// eqEntry is a single-flight slot of the equivalence cache: the first
+// worker to claim a state computes, everyone else waits on done.
+type eqEntry struct {
+	done chan struct{}
+	eq   bool
+}
+
+// subEntry caches a Subquery construction (sub == nil: construction
+// failed or cascaded to the empty query).
+type subEntry struct {
+	sub *core.Query
+}
+
+// shard is one stripe of the engine's shared state, guarded by its own
+// mutex to keep contention off the hot path.
+type shard struct {
+	mu   sync.Mutex
+	seen map[string]bool
+	eq   map[string]*eqEntry
+	sub  map[string]*subEntry
+}
+
+// engine is the shared state of one parallel backchase run.
+type engine struct {
+	root      *core.Query
+	deps      []*core.Dependency
+	opts      Options
+	rootCanon *chase.Canon // pristine; cloned per equivalence check
+	queue     *workQueue
+
+	shards [numShards]shard
+	seed   maphash.Seed
+
+	states    atomic.Int64 // claimed states (visited-set size)
+	truncated atomic.Bool
+
+	plansMu sync.Mutex
+	plans   map[string]*core.Query // normalized signature -> plan
+
+	errMu sync.Mutex
+	err   error // first hard error; aborts the run
+}
+
+func newEngine(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*engine, error) {
+	res, err := chase.ChaseContext(ctx, q, deps, opts.Chase)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		root:      q,
+		deps:      deps,
+		opts:      opts,
+		rootCanon: chase.NewCanon(res.Query),
+		queue:     newWorkQueue(),
+		seed:      maphash.MakeSeed(),
+		plans:     map[string]*core.Query{},
+	}
+	for i := range e.shards {
+		e.shards[i].seen = map[string]bool{}
+		e.shards[i].eq = map[string]*eqEntry{}
+		e.shards[i].sub = map[string]*subEntry{}
+	}
+	return e, nil
+}
+
+func (e *engine) shard(key string) *shard {
+	return &e.shards[maphash.String(e.seed, key)%numShards]
+}
+
+// stateKey canonicalizes a removal set against the root's binding order.
+func (e *engine) stateKey(removed map[string]bool) string {
+	var sb strings.Builder
+	for _, b := range e.root.Bindings {
+		if removed[b.Var] {
+			sb.WriteString(b.Var)
+			sb.WriteByte(';')
+		}
+	}
+	return sb.String()
+}
+
+// claim marks the state visited, honoring the MaxStates cap. It returns
+// true exactly once per state; the caller then owns enqueueing it. The
+// budget slot is reserved with a compare-and-swap so concurrent claims
+// on different shards can never overshoot MaxStates.
+func (e *engine) claim(key string) bool {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.seen[key] {
+		return false
+	}
+	for {
+		n := e.states.Load()
+		if n >= int64(e.opts.MaxStates) {
+			e.truncated.Store(true)
+			return false
+		}
+		if e.states.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	sh.seen[key] = true
+	return true
+}
+
+// fail records the first hard error and aborts the run.
+func (e *engine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.queue.stop()
+}
+
+func (e *engine) firstErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// plansFull reports whether the MaxPlans cap has been reached.
+func (e *engine) plansFull() bool {
+	if e.opts.MaxPlans <= 0 {
+		return false
+	}
+	e.plansMu.Lock()
+	defer e.plansMu.Unlock()
+	return len(e.plans) >= e.opts.MaxPlans
+}
+
+// addPlan normalizes and registers a normal form, deduplicating by
+// renaming-invariant signature and honoring the MaxPlans cap. Two
+// distinct states can normalize to isomorphic plans with the same
+// signature but different variable names (symmetric self-joins); the
+// representative kept is the one with the lexicographically smallest
+// canonical rendering, not whichever worker arrived first, so the
+// reported plan set is independent of scheduling.
+func (e *engine) addPlan(cur *core.Query) {
+	plan := Normalize(cur, e.deps, e.opts.Chase)
+	psig := plan.NormalizeBindingOrder().Signature()
+	e.plansMu.Lock()
+	prev, dup := e.plans[psig]
+	full := e.opts.MaxPlans > 0 && len(e.plans) >= e.opts.MaxPlans
+	switch {
+	case dup:
+		if plan.NormalizeBindingOrder().String() < prev.NormalizeBindingOrder().String() {
+			e.plans[psig] = plan
+		}
+	case !full:
+		e.plans[psig] = plan
+	}
+	e.plansMu.Unlock()
+	if !dup && full {
+		e.truncated.Store(true)
+		e.queue.stop()
+	}
+}
+
+// cachedSubquery memoizes Subquery(root, grown) per canonical key. Two
+// workers may race to compute the same construction; the first stored
+// value wins (both compute identical results — Subquery is
+// deterministic).
+func (e *engine) cachedSubquery(key string, grown map[string]bool) *core.Query {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	if ent, ok := sh.sub[key]; ok {
+		sh.mu.Unlock()
+		return ent.sub
+	}
+	sh.mu.Unlock()
+	sub, ok := Subquery(e.root, grown)
+	if !ok {
+		sub = nil
+	}
+	sh.mu.Lock()
+	if ent, prev := sh.sub[key]; prev {
+		sub = ent.sub
+	} else {
+		sh.sub[key] = &subEntry{sub: sub}
+	}
+	sh.mu.Unlock()
+	return sub
+}
+
+// equivalence memoizes "is Subquery(root, removed-set-of-fullKey)
+// equivalent to the root", single-flighted so a canonically identical
+// subquery is never re-chased: the first worker to claim the key runs
+// the chase-based check, concurrent workers for the same key block until
+// it lands. Budget exhaustion on a candidate means the removal cannot be
+// verified and is treated as unsound (matching the serial engine).
+func (e *engine) equivalence(ctx context.Context, fullKey string, sub *core.Query) (bool, error) {
+	sh := e.shard(fullKey)
+	sh.mu.Lock()
+	if ent, ok := sh.eq[fullKey]; ok {
+		sh.mu.Unlock()
+		select {
+		case <-ent.done:
+			return ent.eq, nil
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
+	}
+	ent := &eqEntry{done: make(chan struct{})}
+	sh.eq[fullKey] = ent
+	sh.mu.Unlock()
+	defer close(ent.done)
+
+	eq, err := e.equivalentToRoot(ctx, sub)
+	if err != nil {
+		if _, budget := err.(*chase.ErrBudget); budget {
+			ent.eq = false
+			return false, nil
+		}
+		ent.eq = false
+		return false, err
+	}
+	ent.eq = eq
+	return eq, nil
+}
+
+// equivalentToRoot checks sub ≡ root under the dependencies.
+// Direction root ⊑ sub: containment mapping from sub into a pristine
+// clone of the precomputed chase(root) — cloning keeps the shared canon
+// immutable and the check independent of concurrent checks.
+// Direction sub ⊑ root: chase(sub), then map root into it.
+func (e *engine) equivalentToRoot(ctx context.Context, sub *core.Query) (bool, error) {
+	cn := e.rootCanon.Clone()
+	avoid := cn.Q.BoundVars()
+	subF := sub.RenameVars(core.FreshRenaming("h_", avoid))
+	if len(cn.HomsOfQueryInto(subF, cn.Q.Out, 1)) == 0 {
+		return false, nil
+	}
+	return containedContext(ctx, sub, e.root, e.deps, e.opts.Chase)
+}
+
+// tryRemove attempts a backchase step eliminating the named binding on
+// top of the already-removed set, cascading to dependent bindings that
+// cannot be re-expressed. Returns the grown (canonicalized) removal set
+// and the resulting subquery, or nils if the step is unsound or
+// impossible.
+func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v string) (map[string]bool, *core.Query, error) {
+	grown := make(map[string]bool, len(removed)+1)
+	for r := range removed {
+		grown[r] = true
+	}
+	grown[v] = true
+
+	sub := e.cachedSubquery(e.stateKey(grown), grown)
+	if sub == nil || len(sub.Bindings) == 0 {
+		return nil, nil, nil
+	}
+	// The cascade may have removed more variables; canonicalize the set.
+	surviving := sub.BoundVars()
+	full := map[string]bool{}
+	for _, b := range e.root.Bindings {
+		if !surviving[b.Var] {
+			full[b.Var] = true
+		}
+	}
+	fullKey := e.stateKey(full)
+
+	eq, err := e.equivalence(ctx, fullKey, sub)
+	if err != nil || !eq {
+		return nil, nil, err
+	}
+	return full, sub, nil
+}
+
+// process explores one claimed state: record it, try every single-binding
+// removal, enqueue unseen sound successors, and register the state as a
+// normal form if no removal applies.
+func (e *engine) process(ctx context.Context, w *worker, it stateItem) error {
+	w.explored = append(w.explored, it)
+	normal := true
+	for _, b := range it.q.Bindings {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if e.plansFull() {
+			e.truncated.Store(true)
+			return nil
+		}
+		full, sub, err := e.tryRemove(ctx, it.removed, b.Var)
+		if err != nil {
+			return err
+		}
+		if full == nil {
+			continue
+		}
+		normal = false
+		key := e.stateKey(full)
+		if e.claim(key) {
+			e.queue.push(stateItem{key: key, removed: full, q: sub})
+		}
+	}
+	if normal {
+		e.addPlan(it.q)
+	}
+	return nil
+}
+
+// worker holds per-goroutine state: the explored-state log, merged after
+// the pool drains (avoids a global lock on the exploration hot path).
+type worker struct {
+	explored []stateItem
+}
+
+// run is the worker loop: pop, process, mark done, until the queue drains
+// or the run aborts.
+func (e *engine) run(ctx context.Context, w *worker) {
+	for {
+		it, ok := e.queue.pop()
+		if !ok {
+			return
+		}
+		err := e.process(ctx, w, it)
+		e.queue.taskDone()
+		if err != nil {
+			e.fail(err)
+			return
+		}
+	}
+}
+
+// enumerate drives the full parallel exploration from the root and
+// assembles the deterministic Result.
+func (e *engine) enumerate(ctx context.Context, parallelism int) (*Result, error) {
+	rootItem := stateItem{key: "", removed: map[string]bool{}, q: e.root}
+	e.claim(rootItem.key)
+	e.queue.push(rootItem)
+
+	workers := make([]*worker, parallelism)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = &worker{}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			e.run(ctx, w)
+		}(workers[i])
+	}
+	wg.Wait()
+
+	var all []stateItem
+	for _, w := range workers {
+		all = append(all, w.explored...)
+	}
+	sortStates(all)
+
+	res := &Result{States: len(all), Truncated: e.truncated.Load()}
+	for _, it := range all {
+		res.Explored = append(res.Explored, it.q)
+	}
+	res.Plans = e.sortedPlans()
+
+	err := e.firstErr()
+	switch {
+	case err == nil:
+		return res, nil
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Cancellation: hand back what was completed along with the
+		// cause, so callers can use the partial result.
+		return res, err
+	default:
+		// A hard error must never be masked by a context that was also
+		// cancelled before the pool drained.
+		return nil, err
+	}
+}
+
+// sortedPlans returns the collected normal forms in canonical order:
+// ascending size, then renaming-invariant signature. The order is a pure
+// function of the plan set, so it is stable across worker interleavings.
+func (e *engine) sortedPlans() []*core.Query {
+	e.plansMu.Lock()
+	defer e.plansMu.Unlock()
+	type entry struct {
+		sig string
+		q   *core.Query
+	}
+	entries := make([]entry, 0, len(e.plans))
+	for sig, q := range e.plans {
+		entries = append(entries, entry{sig, q})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if len(a.q.Bindings) != len(b.q.Bindings) {
+			return len(a.q.Bindings) < len(b.q.Bindings)
+		}
+		return a.sig < b.sig
+	})
+	out := make([]*core.Query, len(entries))
+	for i, en := range entries {
+		out[i] = en.q
+	}
+	return out
+}
+
+// sortStates orders explored states canonically: fewer removed variables
+// first (the root leads), then by removal-set key.
+func sortStates(items []stateItem) {
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		ra, rb := strings.Count(a.key, ";"), strings.Count(b.key, ";")
+		if ra != rb {
+			return ra < rb
+		}
+		return a.key < b.key
+	})
+}
+
+// firstRemoval finds the first (in binding order) sound removal from the
+// current state. With one worker it short-circuits sequentially like the
+// serial engine; with more it evaluates all candidates concurrently and
+// keeps the lowest index that succeeds — the same removal either way, so
+// MinimizeOne stays deterministic.
+func (e *engine) firstRemoval(ctx context.Context, parallelism int, removed map[string]bool, cur *core.Query) (map[string]bool, *core.Query, error) {
+	if parallelism <= 1 || len(cur.Bindings) == 1 {
+		for _, b := range cur.Bindings {
+			next, nextQ, err := e.tryRemove(ctx, removed, b.Var)
+			if err != nil {
+				return nil, nil, err
+			}
+			if next != nil {
+				return next, nextQ, nil
+			}
+		}
+		return nil, nil, nil
+	}
+
+	type outcome struct {
+		next map[string]bool
+		q    *core.Query
+		err  error
+	}
+	results := make([]outcome, len(cur.Bindings))
+	var idx atomic.Int64
+	// best tracks the lowest index with a sound removal so far: workers
+	// skip candidates that can no longer win, keeping the total chase
+	// work close to the serial short-circuit (skipped high-index results
+	// would be useless next round anyway — the removal set changes).
+	var best atomic.Int64
+	best.Store(int64(len(cur.Bindings)))
+	var wg sync.WaitGroup
+	n := parallelism
+	if n > len(cur.Bindings) {
+		n = len(cur.Bindings)
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= len(cur.Bindings) {
+					return
+				}
+				if int64(i) > best.Load() {
+					continue
+				}
+				next, q, err := e.tryRemove(ctx, removed, cur.Bindings[i].Var)
+				results[i] = outcome{next, q, err}
+				if err == nil && next != nil {
+					for {
+						b := best.Load()
+						if int64(i) >= b || best.CompareAndSwap(b, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Scan in binding order: at the first index with an outcome (success
+	// or error), behave exactly like the serial loop would have there.
+	// Unevaluated slots above a success are zero-valued and ignored.
+	for _, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if r.next != nil {
+			return r.next, r.q, nil
+		}
+	}
+	return nil, nil, nil
+}
+
+// parallelismOrDefault resolves Options.Parallelism (0 = all cores).
+func (o Options) parallelismOrDefault() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}

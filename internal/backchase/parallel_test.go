@@ -1,0 +1,507 @@
+package backchase
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cnb/internal/chase"
+	"cnb/internal/core"
+)
+
+// ---- random case generation for differential testing ---------------------
+//
+// Small path-conjunctive queries over flat relations R, S, T plus a random
+// subset of a fixed, weakly acyclic dependency pool (inclusion
+// dependencies out of R, key EGDs), so every chase terminates within the
+// default budgets and the brute-force oracle stays tractable.
+
+var diffFields = []string{"A", "B", "C"}
+
+func randomDeps(r *rand.Rand) []*core.Dependency {
+	v, n, prj := core.V, core.Name, core.Prj
+	var deps []*core.Dependency
+	if r.Intn(2) == 0 {
+		deps = append(deps, &core.Dependency{
+			Name:            "IND_RS",
+			Premise:         []core.Binding{{Var: "r", Range: n("R")}},
+			Conclusion:      []core.Binding{{Var: "s", Range: n("S")}},
+			ConclusionConds: []core.Cond{{L: prj(v("r"), "A"), R: prj(v("s"), "A")}},
+		})
+	}
+	if r.Intn(3) == 0 {
+		deps = append(deps, &core.Dependency{
+			Name:            "IND_RT",
+			Premise:         []core.Binding{{Var: "r", Range: n("R")}},
+			Conclusion:      []core.Binding{{Var: "t", Range: n("T")}},
+			ConclusionConds: []core.Cond{{L: prj(v("r"), "B"), R: prj(v("t"), "B")}},
+		})
+	}
+	if r.Intn(3) == 0 {
+		deps = append(deps, &core.Dependency{
+			Name:            "KEY_R",
+			Premise:         []core.Binding{{Var: "a", Range: n("R")}, {Var: "b", Range: n("R")}},
+			PremiseConds:    []core.Cond{{L: prj(v("a"), "A"), R: prj(v("b"), "A")}},
+			ConclusionConds: []core.Cond{{L: v("a"), R: v("b")}},
+		})
+	}
+	if r.Intn(4) == 0 {
+		deps = append(deps, &core.Dependency{
+			Name:            "KEY_S",
+			Premise:         []core.Binding{{Var: "a", Range: n("S")}, {Var: "b", Range: n("S")}},
+			PremiseConds:    []core.Cond{{L: prj(v("a"), "A"), R: prj(v("b"), "A")}},
+			ConclusionConds: []core.Cond{{L: v("a"), R: v("b")}},
+		})
+	}
+	return deps
+}
+
+func randomQuery(r *rand.Rand) *core.Query {
+	rels := []string{"R", "R", "S", "T"} // bias toward self-joins on R
+	n := 2 + r.Intn(3)
+	q := &core.Query{}
+	for i := 0; i < n; i++ {
+		q.Bindings = append(q.Bindings, core.Binding{
+			Var:   fmt.Sprintf("x%d", i),
+			Range: core.Name(rels[r.Intn(len(rels))]),
+		})
+	}
+	pickVar := func() *core.Term { return core.V(fmt.Sprintf("x%d", r.Intn(n))) }
+	pickField := func() string { return diffFields[r.Intn(len(diffFields))] }
+	m := r.Intn(n + 1)
+	for i := 0; i < m; i++ {
+		switch r.Intn(5) {
+		case 0:
+			// Row equality between two bindings (often makes one redundant).
+			q.Conds = append(q.Conds, core.Cond{L: pickVar(), R: pickVar()})
+		case 1:
+			// Constant selection.
+			q.Conds = append(q.Conds, core.Cond{
+				L: core.Prj(pickVar(), pickField()),
+				R: core.C("c1"),
+			})
+		default:
+			// Join condition; same-field joins (the redundant-chain shape)
+			// half the time.
+			f1 := pickField()
+			f2 := f1
+			if r.Intn(2) == 0 {
+				f2 = pickField()
+			}
+			q.Conds = append(q.Conds, core.Cond{
+				L: core.Prj(pickVar(), f1),
+				R: core.Prj(pickVar(), f2),
+			})
+		}
+	}
+	out := []core.StructField{{Name: "O1", Term: core.Prj(pickVar(), pickField())}}
+	if r.Intn(2) == 0 {
+		out = append(out, core.StructField{Name: "O2", Term: core.Prj(pickVar(), pickField())})
+	}
+	q.Out = core.Struct(out...)
+	if q.Validate() != nil {
+		// Conditions only mention bound variables by construction; Validate
+		// can still reject pathological duplicates — regenerate.
+		return randomQuery(r)
+	}
+	return q
+}
+
+func planSigs(qs []*core.Query) map[string]bool {
+	m := map[string]bool{}
+	for _, q := range qs {
+		m[q.NormalizeBindingOrder().Signature()] = true
+	}
+	return m
+}
+
+func sameSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// matchUpToEquivalence checks that two plan sets coincide up to
+// chase-equivalence under the dependencies: every plan of each side has a
+// counterpart of the same size (binding count — the minimality measure)
+// on the other side that is provably equivalent. A renaming-invariant
+// signature match is used as a fast path; the chase decides the rest.
+// Syntactic signatures alone are too strict: the two engines can render
+// one plan with different (equivalent) spanning trees of the same
+// congruence classes in the where clause.
+func matchUpToEquivalence(t *testing.T, label string, a, b []*core.Query, deps []*core.Dependency) {
+	t.Helper()
+	bSigs := planSigs(b)
+	for _, p := range a {
+		if bSigs[p.NormalizeBindingOrder().Signature()] {
+			continue
+		}
+		found := false
+		for _, q := range b {
+			if len(q.Bindings) != len(p.Bindings) {
+				continue
+			}
+			eq, err := Equivalent(p, q, deps, chase.Options{})
+			if err != nil {
+				t.Fatalf("%s: equivalence check: %v", label, err)
+			}
+			if eq {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: plan has no equivalent counterpart:\n%s", label, p)
+		}
+	}
+}
+
+// TestDifferentialEnumerateVsBruteForce validates Theorem 2 end to end on
+// randomly generated inputs: the parallel Enumerate must return exactly
+// the minimal equivalent subqueries that the exponential brute-force
+// oracle finds (as sets of plans up to equivalence). The two
+// implementations share only Subquery and the chase-based containment
+// primitive, and search the lattice in entirely different ways, so
+// agreement is a strong differential oracle (Ba & Rigger's
+// independent-implementations principle).
+func TestDifferentialEnumerateVsBruteForce(t *testing.T) {
+	const cases = 120
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < cases; i++ {
+		q := randomQuery(r)
+		deps := randomDeps(r)
+		opts := Options{Parallelism: 4}
+
+		en, err := Enumerate(q, deps, opts)
+		if err != nil {
+			t.Fatalf("case %d: Enumerate: %v\nquery:\n%s", i, err, q)
+		}
+		if en.Truncated {
+			t.Fatalf("case %d: unexpected truncation (generator must stay small)", i)
+		}
+		bf, err := BruteForceMinimal(q, deps, opts)
+		if err != nil {
+			t.Fatalf("case %d: BruteForceMinimal: %v\nquery:\n%s", i, err, q)
+		}
+		bfNorm := make([]*core.Query, len(bf))
+		for j, p := range bf {
+			bfNorm[j] = Normalize(p, deps, chase.Options{})
+		}
+		label := fmt.Sprintf("case %d (query:\n%s\n)", i, q)
+		matchUpToEquivalence(t, label+" enumerate⊆bruteforce", en.Plans, bfNorm, deps)
+		matchUpToEquivalence(t, label+" bruteforce⊆enumerate", bfNorm, en.Plans, deps)
+	}
+}
+
+// resultFingerprint flattens a Result into a comparable string: plan and
+// explored-state renderings in their reported (canonical) order plus the
+// counters. Byte equality of fingerprints means byte-identical results.
+func resultFingerprint(res *Result) string {
+	s := fmt.Sprintf("states=%d truncated=%v\n", res.States, res.Truncated)
+	for _, p := range res.Plans {
+		s += "plan:" + p.String() + "\n"
+	}
+	for _, e := range res.Explored {
+		s += "explored:" + e.NormalizeBindingOrder().Signature() + "\n"
+	}
+	return s
+}
+
+// TestDeterminismAcrossParallelism asserts the headline guarantee of the
+// parallel engine: for complete runs the Result — plans, explored states,
+// counters, and their order — is identical for every worker count and
+// across repeated runs.
+func TestDeterminismAcrossParallelism(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := chased.Query
+
+	var reference string
+	for _, par := range []int{1, 2, 8} {
+		for run := 0; run < 2; run++ {
+			res, err := Enumerate(u, deps, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("parallelism %d run %d: %v", par, run, err)
+			}
+			fp := resultFingerprint(res)
+			if reference == "" {
+				reference = fp
+				continue
+			}
+			if fp != reference {
+				t.Errorf("parallelism %d run %d: result differs from reference\ngot:\n%s\nwant:\n%s",
+					par, run, fp, reference)
+			}
+		}
+	}
+
+	// The random differential cases must also be run-to-run and
+	// cross-parallelism deterministic, not just ProjDept.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 25; i++ {
+		q := randomQuery(r)
+		qdeps := randomDeps(r)
+		var ref string
+		for _, par := range []int{1, 2, 8} {
+			res, err := Enumerate(q, qdeps, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("case %d parallelism %d: %v", i, par, err)
+			}
+			fp := resultFingerprint(res)
+			if ref == "" {
+				ref = fp
+			} else if fp != ref {
+				t.Errorf("case %d: parallelism %d differs\nquery:\n%s", i, par, q)
+			}
+		}
+	}
+}
+
+// TestDeterminismSymmetricPlans pins the plan-representative choice on a
+// workload built to race: a symmetric self-join where removing x0 and
+// removing x1 yield isomorphic normal forms with the same
+// renaming-invariant signature but different variable names. The engine
+// must keep the canonical representative (smallest rendering), not
+// whichever worker reached the dedup map first.
+func TestDeterminismSymmetricPlans(t *testing.T) {
+	q := &core.Query{
+		Out: core.Prj(core.V("x0"), "A"),
+		Bindings: []core.Binding{
+			{Var: "x0", Range: core.Name("R")},
+			{Var: "x1", Range: core.Name("R")},
+		},
+		Conds: []core.Cond{{L: core.V("x0"), R: core.V("x1")}},
+	}
+	var ref string
+	for run := 0; run < 8; run++ {
+		res, err := Enumerate(q, nil, Options{Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := resultFingerprint(res)
+		if ref == "" {
+			ref = fp
+		} else if fp != ref {
+			t.Fatalf("run %d: symmetric-plan representative varies\ngot:\n%s\nwant:\n%s", run, fp, ref)
+		}
+	}
+	serial, err := Enumerate(q, nil, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := resultFingerprint(serial); fp != ref {
+		t.Fatalf("serial differs from parallel on symmetric plans\ngot:\n%s\nwant:\n%s", fp, ref)
+	}
+}
+
+// TestSharedCanonCloneStress exercises the documented sharing discipline
+// under the race detector: many goroutines concurrently Clone one
+// chase.Canon / congruence closure and hammer homomorphism searches and
+// congruence queries on their clones, while the shared original is never
+// mutated.
+func TestSharedCanonCloneStress(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := chase.NewCanon(chased.Query)
+	sub, ok := Subquery(chased.Query, map[string]bool{chased.Query.Bindings[0].Var: true})
+	if !ok {
+		// Fall back to the root itself; the stress only needs some query.
+		sub = chased.Query
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				cn := shared.Clone()
+				avoid := cn.Q.BoundVars()
+				subF := sub.RenameVars(core.FreshRenaming("h_", avoid))
+				cn.HomsOfQueryInto(subF, cn.Q.Out, 1)
+				for _, b := range cn.Q.Bindings {
+					cn.CC.Same(core.V(b.Var), b.Range)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	// The full engine at high parallelism shares the root canon the same
+	// way (clone per equivalence check); run it through for good measure.
+	if _, err := Enumerate(chased.Query, deps, Options{Parallelism: workers}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to the
+// baseline (with slack for runtime helpers), failing the test otherwise.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), baseline)
+}
+
+// TestCancellationTerminatesWorkers cancels a large enumeration mid-run:
+// EnumerateContext must return promptly with the context error and the
+// partial results collected so far, leaking no worker goroutines.
+func TestCancellationTerminatesWorkers(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := EnumerateContext(ctx, chased.Query, deps, Options{Parallelism: 8})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancellation must return the partial result")
+	}
+	// The full run takes hundreds of milliseconds; cancellation at 20ms
+	// must cut that short (generous bound for slow CI).
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt termination", elapsed)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestCancelledBeforeStart covers the degenerate case: a context that is
+// already cancelled fails fast (in the root chase) without spawning
+// workers.
+func TestCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	baseline := runtime.NumGoroutine()
+	_, err := EnumerateContext(ctx, redundantTriple(), nil, Options{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestMaxStatesTruncationParallel asserts the state budget stops the
+// worker pool without hanging or leaking, reporting truncation.
+func TestMaxStatesTruncationParallel(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	res, err := Enumerate(chased.Query, deps, Options{MaxStates: 3, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Error("MaxStates=3 must truncate the ProjDept lattice")
+	}
+	if res.States > 3 {
+		t.Errorf("explored %d states, budget was 3", res.States)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestChaseBudgetSkipsCandidates asserts that per-candidate chase budget
+// exhaustion is contained (the removal is treated as unverifiable), while
+// budget exhaustion on the root chase surfaces as ErrBudget — both
+// without hanging the pool.
+func TestChaseBudgetSkipsCandidates(t *testing.T) {
+	deps := projDeptDeps()
+	q := projDeptQuery()
+	// Root chase needs dozens of steps; a budget of 1 must fail fast.
+	_, err := Enumerate(q, deps, Options{Chase: chase.Options{MaxSteps: 1}, Parallelism: 4})
+	var budget *chase.ErrBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("err = %v, want *chase.ErrBudget", err)
+	}
+}
+
+// TestMinimizeOneParallelMatchesSerial pins the greedy minimizer's
+// determinism: the same (first-in-binding-order) removal sequence is
+// taken regardless of how many workers verify candidates.
+func TestMinimizeOneParallelMatchesSerial(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := MinimizeOne(chased.Query, deps, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		got, err := MinimizeOne(chased.Query, deps, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != serial.String() {
+			t.Errorf("parallelism %d: minimized plan differs\ngot:\n%s\nwant:\n%s", par, got, serial)
+		}
+	}
+
+	// IsMinimal must agree as well.
+	for _, par := range []int{1, 8} {
+		min, err := IsMinimal(chased.Query, deps, Options{Parallelism: par})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min {
+			t.Errorf("parallelism %d: universal plan reported minimal", par)
+		}
+	}
+}
+
+// TestBruteForceParallelMatchesSerial pins the parallel mask fan-out of
+// the oracle itself.
+func TestBruteForceParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		q := randomQuery(r)
+		deps := randomDeps(r)
+		serial, err := BruteForceMinimal(q, deps, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BruteForceMinimal(q, deps, Options{Parallelism: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSets(planSigs(serial), planSigs(par)) {
+			t.Errorf("case %d: brute force differs across parallelism\nquery:\n%s", i, q)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -20,6 +21,12 @@ import (
 	"cnb/internal/optimizer"
 	"cnb/internal/workload"
 )
+
+// Parallelism is the backchase worker count used by the experiments
+// (0 = all cores, 1 = serial). cmd/chasebench sets it from the
+// -parallelism flag; the results are identical for every value, only the
+// wall-clock changes.
+var Parallelism int
 
 // Table is a rendered experiment result.
 type Table struct {
@@ -85,6 +92,7 @@ func All() []Experiment {
 		{"E9", "Optimization time: chase polynomial, backchase exponential (§5)", E9},
 		{"E10", "Plan-space comparison vs views-only baseline (§4, §6)", E10},
 		{"E11", "Semantic optimization: constraints enable plans (§2)", E11},
+		{"E12", "Parallel backchase: serial vs worker-pool wall clock", E12},
 	}
 }
 
@@ -136,6 +144,7 @@ func E1() (*Table, error) {
 		Deps:          pd.AllDeps(),
 		PhysicalNames: pd.Physical.NameSet(),
 		Stats:         stats,
+		Parallelism:   Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -225,7 +234,7 @@ func E3() (*Table, error) {
 	for n := 3; n <= 7; n++ {
 		q := redundantChain(n)
 		start := time.Now()
-		min, err := backchase.MinimizeOne(q, nil, backchase.Options{})
+		min, err := backchase.MinimizeOne(q, nil, backchase.Options{Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -272,7 +281,7 @@ func E4() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimizer.Optimize(sc.Q, optimizer.Options{Deps: sc.Deps})
+	res, err := optimizer.Optimize(sc.Q, optimizer.Options{Deps: sc.Deps, Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +313,7 @@ func E5() (*Table, error) {
 	}
 	in := sc.Generate(2000, 2000, 4000, 3) // selective join: V is small
 	stats := cost.FromInstance(in)
-	res, err := optimizer.Optimize(sc.Q, optimizer.Options{Deps: sc.Deps, Stats: stats})
+	res, err := optimizer.Optimize(sc.Q, optimizer.Options{Deps: sc.Deps, Stats: stats, Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -379,11 +388,11 @@ func E7() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		enum, err := backchase.Enumerate(chased.Query, c.Deps, backchase.Options{})
+		enum, err := backchase.Enumerate(chased.Query, c.Deps, backchase.Options{Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
-		bf, err := backchase.BruteForceMinimal(chased.Query, c.Deps, backchase.Options{})
+		bf, err := backchase.BruteForceMinimal(chased.Query, c.Deps, backchase.Options{Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -532,7 +541,7 @@ func E9() (*Table, error) {
 		}
 		chaseTime := time.Since(t0)
 		t1 := time.Now()
-		enum, err := backchase.Enumerate(chased.Query, c.Deps, backchase.Options{})
+		enum, err := backchase.Enumerate(chased.Query, c.Deps, backchase.Options{Parallelism: Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -554,7 +563,7 @@ func E10() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := optimizer.Optimize(sc.Q, optimizer.Options{Deps: sc.Deps})
+	res, err := optimizer.Optimize(sc.Q, optimizer.Options{Deps: sc.Deps, Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -635,11 +644,11 @@ func E11() (*Table, error) {
 		},
 		Conds: []core.Cond{{L: core.Prj(core.V("p"), "PDept"), R: core.Prj(core.V("d"), "DName")}},
 	}
-	withC, err := backchase.MinimizeOne(q, pd.LogicalDeps, backchase.Options{})
+	withC, err := backchase.MinimizeOne(q, pd.LogicalDeps, backchase.Options{Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}
-	withoutC, err := backchase.MinimizeOne(q, nil, backchase.Options{})
+	withoutC, err := backchase.MinimizeOne(q, nil, backchase.Options{Parallelism: Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -652,6 +661,70 @@ func E11() (*Table, error) {
 			{"none", fmt.Sprintf("%d", len(withoutC.Bindings))},
 		},
 	}
+	return tb, nil
+}
+
+// E12 measures the parallel backchase against the serial engine on the
+// hottest workloads: chain queries with adjacent-pair views (many
+// redundant scans, exponential lattice) and the ProjDept running example.
+// The plan sets must agree exactly — the parallel engine is the same
+// search, just scheduled across workers.
+func E12() (*Table, error) {
+	tb := &Table{
+		ID:      "E12",
+		Title:   fmt.Sprintf("Parallel backchase (workers=%d) vs serial, same plan sets", runtime.GOMAXPROCS(0)),
+		Columns: []string{"workload", "states", "plans", "serial", "parallel", "speedup", "agree"},
+	}
+	addRow := func(name string, u *core.Query, deps []*core.Dependency) error {
+		t0 := time.Now()
+		serial, err := backchase.Enumerate(u, deps, backchase.Options{Parallelism: 1})
+		if err != nil {
+			return err
+		}
+		serialT := time.Since(t0)
+		t1 := time.Now()
+		par, err := backchase.Enumerate(u, deps, backchase.Options{})
+		if err != nil {
+			return err
+		}
+		parT := time.Since(t1)
+		agree := sameSigSets(serial.Plans, par.Plans) && serial.States == par.States
+		tb.Rows = append(tb.Rows, []string{
+			name,
+			fmt.Sprintf("%d", par.States),
+			fmt.Sprintf("%d", len(par.Plans)),
+			serialT.Round(time.Microsecond).String(),
+			parT.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", float64(serialT)/float64(parT)),
+			fmt.Sprintf("%v", agree),
+		})
+		return nil
+	}
+	for _, n := range []int{4, 5} {
+		c, err := workload.NewChain(n, n-1)
+		if err != nil {
+			return nil, err
+		}
+		chased, err := chase.Chase(c.Q, c.Deps, chase.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow(fmt.Sprintf("chain n=%d", n), chased.Query, c.Deps); err != nil {
+			return nil, err
+		}
+	}
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		return nil, err
+	}
+	chased, err := chase.Chase(pd.Q, pd.AllDeps(), chase.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := addRow("ProjDept", chased.Query, pd.AllDeps()); err != nil {
+		return nil, err
+	}
+	tb.Notes = append(tb.Notes, "equivalence checks dominate; the worker pool hides their latency while the single-flight cache keeps total chase work identical")
 	return tb, nil
 }
 

@@ -21,9 +21,22 @@ import (
 
 // Canon is the canonical database of a query: its congruence closure plus
 // the membership facts contributed by the from clause.
+//
+// A Canon is not safe for concurrent use: homomorphism search interns the
+// transported source terms into CC, mutating it (see the congruence
+// package comment). Concurrent consumers — e.g. the workers of the
+// parallel backchase — must each operate on their own Clone.
 type Canon struct {
 	Q  *core.Query
 	CC *congruence.Closure
+}
+
+// Clone returns an independent copy of the canonical database. The query
+// is shared (Canon never mutates it); the congruence closure is deep
+// copied. Concurrent Clones of one Canon are safe provided no goroutine
+// mutates it at the same time.
+func (cn *Canon) Clone() *Canon {
+	return &Canon{Q: cn.Q, CC: cn.CC.Clone()}
 }
 
 // NewCanon builds the canonical database of a query.

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 
 	"cnb/internal/core"
@@ -71,12 +72,22 @@ func (e *ErrBudget) Error() string {
 //
 // The input query is not modified.
 func Chase(q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
+	return ChaseContext(context.Background(), q, deps, opts)
+}
+
+// ChaseContext is Chase with cancellation: the context is consulted
+// before every chase step, so a cancelled context interrupts even
+// long-running fixpoints promptly. It returns ctx.Err() on cancellation.
+func ChaseContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	cur := q.Clone()
 	res := &Result{}
 	egds, tgds := splitEGDs(deps)
 	cn := NewCanon(cur)
 	for steps := 0; ; steps++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if steps >= opts.MaxSteps {
 			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings)}
 		}

@@ -1,0 +1,74 @@
+package congruence
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cnb/internal/core"
+)
+
+// TestCloneIndependence asserts that mutations of a clone never leak into
+// the original (and vice versa), including through the internal
+// parents-of / structs-in bookkeeping slices that union mutates in place.
+func TestCloneIndependence(t *testing.T) {
+	c := New()
+	x, y := core.V("x"), core.V("y")
+	c.Add(core.Prj(x, "A"))
+	c.Add(core.Prj(y, "A"))
+	c.Merge(core.Prj(x, "B"), core.C(1))
+
+	cl := c.Clone()
+	if !cl.Same(core.Prj(x, "B"), core.C(1)) {
+		t.Fatal("clone must carry the original's equalities")
+	}
+	if cl.Same(x, y) || c.Same(x, y) {
+		t.Fatal("x and y must start separate")
+	}
+
+	// Merge in the clone only: x = y implies x.A = y.A by congruence.
+	cl.Merge(x, y)
+	if !cl.Same(core.Prj(x, "A"), core.Prj(y, "A")) {
+		t.Error("clone must derive x.A = y.A after merging x = y")
+	}
+	if c.Same(x, y) || c.Same(core.Prj(x, "A"), core.Prj(y, "A")) {
+		t.Error("merge in clone leaked into the original")
+	}
+
+	// Merge in the original only; the clone must not see it.
+	c.Merge(core.Prj(y, "B"), core.C(2))
+	if cl.Same(core.Prj(y, "B"), core.C(2)) {
+		t.Error("merge in original leaked into the clone")
+	}
+}
+
+// TestConcurrentCloneAndUse exercises the documented contract under the
+// race detector: concurrent Clones of one unmutated closure are safe, and
+// each goroutine may mutate its own clone freely.
+func TestConcurrentCloneAndUse(t *testing.T) {
+	shared := New()
+	for i := 0; i < 20; i++ {
+		v := core.V(fmt.Sprintf("v%d", i))
+		shared.Add(core.Prj(v, "A"))
+		if i > 0 {
+			shared.Merge(core.Prj(v, "A"), core.Prj(core.V(fmt.Sprintf("v%d", i-1)), "A"))
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				cl := shared.Clone()
+				a := core.V(fmt.Sprintf("w%d_%d", id, i))
+				cl.Merge(a, core.V("v0"))
+				if !cl.Same(core.Prj(a, "A"), core.Prj(core.V("v19"), "A")) {
+					t.Errorf("worker %d: clone lost the shared equalities", id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

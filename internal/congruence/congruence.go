@@ -16,9 +16,22 @@
 //
 // The closure is monotone: terms can be added and equalities asserted, but
 // never retracted. Build a fresh closure per query.
+//
+// # Concurrency
+//
+// A Closure is NOT safe for concurrent use, not even for apparently
+// read-only queries: Same, Rep, Contains-then-query sequences and
+// ClassMembers intern their argument terms, and find performs path
+// compression. Callers that need to consult one closure from several
+// goroutines must give each goroutine its own copy via Clone.
+// Clone itself performs only reads, so any number of goroutines may
+// Clone the same closure concurrently provided no goroutine mutates it
+// at the same time — this is the sharing discipline the parallel
+// backchase uses for the root canonical database.
 package congruence
 
 import (
+	"maps"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +75,35 @@ func New() *Closure {
 		structsIn: make(map[int][]int),
 		projsOn:   make(map[int][]int),
 	}
+}
+
+// Clone returns an independent deep copy of the closure: subsequent
+// mutations (interning, merges, path compression) of either copy never
+// affect the other. Terms themselves are immutable and shared, as are
+// the per-node argument lists (never mutated after interning).
+//
+// Clone only reads the receiver, so concurrent Clones of one closure are
+// safe as long as no concurrent mutation runs; see the package comment.
+func (c *Closure) Clone() *Closure {
+	return &Closure{
+		nodes:     append([]node(nil), c.nodes...),
+		byKey:     maps.Clone(c.byKey),
+		parent:    append([]int(nil), c.parent...),
+		rank:      append([]int(nil), c.rank...),
+		sigTable:  maps.Clone(c.sigTable),
+		parentsOf: cloneIntSliceMap(c.parentsOf),
+		structsIn: cloneIntSliceMap(c.structsIn),
+		projsOn:   cloneIntSliceMap(c.projsOn),
+		pending:   append([][2]int(nil), c.pending...),
+	}
+}
+
+func cloneIntSliceMap(m map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(m))
+	for k, v := range m {
+		out[k] = append([]int(nil), v...)
+	}
+	return out
 }
 
 // Add interns the term (and all its subterms) and returns its node id.

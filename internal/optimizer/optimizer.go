@@ -13,6 +13,7 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 
 	"cnb/internal/backchase"
@@ -35,6 +36,10 @@ type Options struct {
 	// Chase and Backchase tune the two phases.
 	Chase     chase.Options
 	Backchase backchase.Options
+	// Parallelism is the worker count for the backchase phase
+	// (0 = all cores). It is copied into Backchase.Parallelism unless
+	// that is already set explicitly.
+	Parallelism int
 	// MinimalOnly restricts the candidate plans to backchase normal forms.
 	// By default every explored backchase state (each of which is an
 	// equivalent plan — "we can stop this rewriting anytime") is also
@@ -73,11 +78,17 @@ type Result struct {
 
 // Optimize runs Algorithm 1 on the query.
 func Optimize(q *core.Query, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), q, opts)
+}
+
+// OptimizeContext is Optimize with cancellation, propagated through both
+// the chase and the (parallel) backchase phase.
+func OptimizeContext(ctx context.Context, q *core.Query, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
 	}
 	// Phase 1: chase.
-	chased, err := chase.Chase(q, opts.Deps, opts.Chase)
+	chased, err := chase.ChaseContext(ctx, q, opts.Deps, opts.Chase)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: chase: %w", err)
 	}
@@ -98,7 +109,10 @@ func Optimize(q *core.Query, opts Options) (*Result, error) {
 	// Phase 2: backchase.
 	bopts := opts.Backchase
 	bopts.Chase = opts.Chase
-	enum, err := backchase.Enumerate(chased.Query, opts.Deps, bopts)
+	if bopts.Parallelism == 0 {
+		bopts.Parallelism = opts.Parallelism
+	}
+	enum, err := backchase.EnumerateContext(ctx, chased.Query, opts.Deps, bopts)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: backchase: %w", err)
 	}

@@ -1,0 +1,59 @@
+package optimizer
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cnb/internal/workload"
+)
+
+// TestOptimizeParallelismDeterministic asserts that the Parallelism
+// option plumbed into the backchase phase changes only wall-clock, never
+// the optimization outcome: candidates, minimal plans and the chosen best
+// plan are identical across worker counts.
+func TestOptimizeParallelismDeterministic(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refBest string
+	var refMinimal, refCandidates int
+	for _, par := range []int{1, 2, 8} {
+		res, err := Optimize(pd.Q, Options{
+			Deps:          pd.AllDeps(),
+			PhysicalNames: pd.Physical.NameSet(),
+			Parallelism:   par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		best := res.Best.Query.String()
+		if refBest == "" {
+			refBest, refMinimal, refCandidates = best, len(res.Minimal), len(res.Candidates)
+			continue
+		}
+		if best != refBest {
+			t.Errorf("parallelism %d: best plan differs\ngot:\n%s\nwant:\n%s", par, best, refBest)
+		}
+		if len(res.Minimal) != refMinimal || len(res.Candidates) != refCandidates {
+			t.Errorf("parallelism %d: %d minimal / %d candidates, want %d / %d",
+				par, len(res.Minimal), len(res.Candidates), refMinimal, refCandidates)
+		}
+	}
+}
+
+// TestOptimizeContextCancelled pins cancellation propagation through both
+// optimizer phases.
+func TestOptimizeContextCancelled(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = OptimizeContext(ctx, pd.Q, Options{Deps: pd.AllDeps()})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
