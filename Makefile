@@ -1,19 +1,36 @@
 # CI entry points for the chase & backchase optimizer.
 #
-#   make ci      - everything a regression gate needs: vet, build, the
-#                  full test suite under the race detector (the parallel
-#                  backchase engine is exercised concurrently throughout),
-#                  and a one-iteration benchmark smoke so the benchmark
-#                  harness itself cannot rot.
-#   make test    - fast feedback: plain test run, no race detector.
-#   make race    - race-detector run of the concurrency-heavy packages.
-#   make bench   - the real benchmark sweep (longer).
+#   make ci         - everything a regression gate needs: vet, build, the
+#                     full test suite, a race-detector pass over the
+#                     concurrency-heavy packages, and a one-iteration
+#                     benchmark smoke so the benchmark harness itself
+#                     cannot rot.
+#   make test       - fast feedback: plain test run, no race detector.
+#   make race       - race-detector run of the concurrency-heavy packages
+#                     (the parallel backchase engine and everything it
+#                     shares state with), not the whole module.
+#   make cover      - coverage profile over internal/... with a floor:
+#                     fails below $(COVER_FLOOR)%.
+#   make bench      - the real benchmark sweep (longer).
+#   make bench-json - run the experiments and write $(BENCH_JSON), the
+#                     machine-readable perf trajectory CI archives.
+#
+# Set GOFLAGS=-short to skip the slow paths: experiment tests skip
+# themselves and bench-smoke becomes a no-op.
 
 GO ?= go
+COVER_FLOOR ?= 70
+BENCH_JSON ?= BENCH_PR2.json
 
-.PHONY: ci vet build test race bench-smoke bench
+# The packages whose tests exercise shared mutable state across
+# goroutines: the worker-pool backchase engine, the chase it drives
+# concurrently, the congruence closures cloned across workers, and the
+# optimizer that parallelizes both.
+RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/... ./internal/optimizer/...
 
-ci: vet build race bench-smoke
+.PHONY: ci vet build test race bench-smoke bench bench-json cover
+
+ci: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,10 +42,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race $(RACE_PKGS)
 
+# Skipped under GOFLAGS=-short: a docs-only or fast-lane run should not
+# pay for compiling and executing every benchmark.
 bench-smoke:
+ifneq (,$(findstring -short,$(GOFLAGS)))
+	@echo "bench-smoke: skipped (GOFLAGS contains -short)"
+else
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+endif
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+bench-json:
+	$(GO) run ./cmd/chasebench -json-out $(BENCH_JSON)
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@$(GO) tool cover -func=coverage.out | tail -n 1
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	awk -v t="$$total" -v floor="$(COVER_FLOOR)" 'BEGIN { \
+		if (t + 0 < floor + 0) { printf "coverage %.1f%% is below the %s%% floor\n", t, floor; exit 1 } \
+		printf "coverage %.1f%% meets the %s%% floor\n", t, floor }'

@@ -56,6 +56,7 @@ func BenchmarkE9OptTime(b *testing.B)       { benchExperiment(b, "E9") }
 func BenchmarkE10Gmap(b *testing.B)         { benchExperiment(b, "E10") }
 func BenchmarkE11Semantic(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12Parallel(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13CostBounded(b *testing.B)  { benchExperiment(b, "E13") }
 
 // --- pipeline phase micro-benchmarks --------------------------------------
 
@@ -140,6 +141,42 @@ func BenchmarkBackchaseParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBackchasePruned compares exhaustive enumeration against the
+// cost-bounded best-first search on the star workload: same cheapest
+// plan cost, strictly fewer lattice states chased. The pruned/exhaustive
+// state counts are reported as custom metrics.
+func BenchmarkBackchasePruned(b *testing.B) {
+	s, err := workload.NewStar(workload.StarConfig{
+		Dims: 2, Views: 2, FactIndexes: 1, DimIndex: true,
+		Select: true, SelectA: 3, FKConstraints: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chased, err := chase.Chase(s.Q, s.Deps, chase.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats := cost.FromInstance(s.Generate(workload.StarGenOptions{
+		NumFact: 6000, NumDim: 3000, NumSub: 1000, DomA: 1000, Seed: 1,
+	}))
+	run := func(b *testing.B, opts backchase.Options) {
+		b.ReportAllocs()
+		var states, pruned int
+		for i := 0; i < b.N; i++ {
+			res, err := backchase.Enumerate(chased.Query, s.Deps, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states, pruned = res.States, res.Pruned
+		}
+		b.ReportMetric(float64(states), "states")
+		b.ReportMetric(float64(pruned), "pruned")
+	}
+	b.Run("exhaustive", func(b *testing.B) { run(b, backchase.Options{}) })
+	b.Run("pruned", func(b *testing.B) { run(b, backchase.Options{Stats: stats}) })
 }
 
 // BenchmarkMinimizeGreedy measures the greedy single-plan backchase.

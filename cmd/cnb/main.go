@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"cnb/internal/backchase"
 	"cnb/internal/core"
 	"cnb/internal/optimizer"
 	"cnb/internal/parser"
@@ -60,6 +61,7 @@ func main() {
 		showAll     = flag.Bool("all", false, "print every candidate plan, not only the best")
 		example     = flag.Bool("example", false, "run the built-in ProjDept example")
 		parallelism = flag.Int("parallelism", 0, "backchase worker count (0 = all cores, 1 = serial)")
+		noCache     = flag.Bool("no-plan-cache", false, "disable the cross-query backchase plan cache")
 	)
 	flag.Parse()
 
@@ -94,6 +96,13 @@ func main() {
 		deps = append(deps, s.Dependencies()...)
 	}
 
+	// One plan cache across every query in the file: canonically identical
+	// universal plans (e.g. alpha-renamed repeats of the same query) skip
+	// the backchase entirely.
+	var cache *backchase.PlanCache
+	if !*noCache {
+		cache = backchase.NewPlanCache()
+	}
 	for _, name := range doc.QueryOrder {
 		q := doc.Queries[name]
 		fmt.Printf("--- query %s ---\n%s\n\n", name, q)
@@ -101,14 +110,19 @@ func main() {
 			Deps:          deps,
 			PhysicalNames: physNames,
 			Parallelism:   *parallelism,
+			Backchase:     backchase.Options{Cache: cache},
 		})
 		if err != nil {
 			fatal("optimizing %s: %v", name, err)
 		}
 		fmt.Printf("universal plan (%d bindings, %d chase steps):\n%s\n\n",
 			len(res.Universal.Bindings), len(res.ChaseSteps), res.Universal)
-		fmt.Printf("%d minimal plans, %d backchase states, %d candidates\n\n",
-			len(res.Minimal), res.States, len(res.Candidates))
+		cached := ""
+		if res.BackchaseCached {
+			cached = " (backchase served from plan cache)"
+		}
+		fmt.Printf("%d minimal plans, %d backchase states, %d candidates%s\n\n",
+			len(res.Minimal), res.States, len(res.Candidates), cached)
 		if *showAll {
 			for i, c := range res.Candidates {
 				fmt.Printf("candidate %d (est. cost %.1f):\n%s\n\n", i+1, c.Cost, c.Query)

@@ -28,6 +28,7 @@ import (
 	"cnb/internal/chase"
 	"cnb/internal/congruence"
 	"cnb/internal/core"
+	"cnb/internal/cost"
 )
 
 // Options tunes the backchase.
@@ -40,13 +41,43 @@ type Options struct {
 	// MaxStates caps the number of distinct intermediate subqueries
 	// explored (0 = default 100000), a safety valve for adversarial
 	// inputs — the search space is exponential in the number of
-	// redundant bindings (§5).
+	// redundant bindings (§5). Under Stats, candidates pruned before
+	// their equivalence check do not count against the cap; a state
+	// pruned after being enqueued does (it was claimed while still
+	// eligible for exploration).
 	MaxStates int
 	// Parallelism is the number of workers exploring the subquery
 	// lattice concurrently (0 = runtime.GOMAXPROCS(0), 1 = serial).
 	// For runs that finish without truncation the result is identical
 	// for every value.
 	Parallelism int
+	// Stats switches Enumerate to cost-bounded best-first search: lattice
+	// states are popped cheapest-estimated-first, a shared bound tracks
+	// the cheapest complete plan found so far, and states whose admissible
+	// lower bound (cost.Stats.LowerBound) exceeds the bound are pruned
+	// without being chased. The returned cheapest plan always has the same
+	// estimated cost as exhaustive enumeration's cheapest (the bound is
+	// admissible), but more expensive plans and lattice regions may be
+	// skipped, so Plans/Explored are generally subsets of the exhaustive
+	// result and can vary across schedules. Nil (the default) keeps the
+	// exhaustive, fully deterministic order.
+	Stats *cost.Stats
+	// TopK keeps only the K cheapest plans in the Result (0 = keep all).
+	// Only meaningful with Stats; it does not cut the search short — the
+	// cheapest-plan guarantee is unaffected.
+	TopK int
+	// CostBudget primes the pruning bound: states whose lower bound
+	// exceeds the budget are pruned even before any complete plan is
+	// found (0 = no budget). Only meaningful with Stats. A budget below
+	// the cheapest plan's cost can prune every plan.
+	CostBudget float64
+	// Cache, when non-nil, memoizes complete enumeration Results across
+	// calls, keyed by the canonical root signature, the dependency set
+	// and the options fingerprint. Repeated Enumerate calls on
+	// canonically identical inputs return the cached Result in O(lookup)
+	// without spawning workers. Cached Results are shared — treat them as
+	// read-only.
+	Cache *PlanCache
 }
 
 func (o Options) withDefaults() Options {
@@ -73,8 +104,20 @@ type Result struct {
 	Explored []*core.Query
 	// States is the number of distinct subqueries explored.
 	States int
+	// Pruned is the number of claimed states skipped by cost-bound
+	// pruning (always 0 without Options.Stats).
+	Pruned int
+	// BestCost is the estimated executable cost (lookup-simplified, best
+	// binding order) of the cheapest equivalent plan encountered — state
+	// or normal form — when Options.Stats is set. It matches the
+	// exhaustive search's cheapest: pruning only discards states whose
+	// admissible lower bound exceeds a cost already achieved. +Inf if
+	// nothing was found (CostBudget below every plan), 0 without Stats.
+	BestCost float64
 	// Truncated reports whether a cap stopped the enumeration early.
 	Truncated bool
+	// FromCache reports that the Result was served from Options.Cache.
+	FromCache bool
 }
 
 // Enumerate explores all backchase sequences from q under deps and returns
@@ -97,11 +140,22 @@ func Enumerate(q *core.Query, deps []*core.Dependency, opts Options) (*Result, e
 // returns the partial Result collected so far together with ctx.Err().
 func EnumerateContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	var key string
+	if opts.Cache != nil {
+		key = cacheKey(q, deps, opts)
+		if res, ok := opts.Cache.get(key); ok {
+			return res, nil
+		}
+	}
 	e, err := newEngine(ctx, q, deps, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.enumerate(ctx, opts.parallelismOrDefault())
+	res, err := e.enumerate(ctx, opts.parallelismOrDefault())
+	if opts.Cache != nil && err == nil && !res.Truncated {
+		opts.Cache.put(key, res)
+	}
+	return res, err
 }
 
 // MinimizeOne performs a greedy backchase: repeatedly apply the first

@@ -1,0 +1,147 @@
+// Cross-call plan cache.
+//
+// The backchase is the expensive phase of Algorithm 1 — exponential in
+// the number of redundant bindings — while its input, the universal plan,
+// is canonical: chase-equivalent queries over the same dependency set
+// chase to universal plans with equal renaming-invariant signatures in
+// all the paper's scenarios. Keying a cache by that signature (plus the
+// dependency set and every option that can change the result) makes
+// repeated Optimize calls on equivalent queries O(lookup) after the first
+// — the first step toward serving query traffic, where the same handful
+// of query shapes arrives over and over.
+package backchase
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cnb/internal/core"
+)
+
+// DefaultPlanCacheSize bounds NewPlanCache: a serving process seeing a
+// stream of never-repeating query shapes must not accumulate Results
+// (which hold every explored subquery) without limit.
+const DefaultPlanCacheSize = 1024
+
+// PlanCache memoizes complete enumeration Results across Enumerate calls.
+// It is safe for concurrent use by multiple goroutines; a Result stored in
+// the cache is shared by every caller that hits it, so callers must treat
+// cached Results (and the Queries they reference) as read-only — which is
+// the package-wide convention anyway (every mutation path Clones first).
+//
+// The cache holds at most maxEntries Results; when full, an arbitrary
+// entry is evicted (random replacement — simple, and for the repeated
+// query shapes the cache targets, any victim is equally likely to be
+// cold).
+type PlanCache struct {
+	mu         sync.Mutex
+	m          map[string]*Result
+	maxEntries int
+	hits       int64
+	misses     int64
+}
+
+// NewPlanCache returns an empty cache bounded to DefaultPlanCacheSize
+// entries.
+func NewPlanCache() *PlanCache {
+	return NewPlanCacheWithSize(DefaultPlanCacheSize)
+}
+
+// NewPlanCacheWithSize returns an empty cache bounded to n entries
+// (n <= 0 means unbounded).
+func NewPlanCacheWithSize(n int) *PlanCache {
+	return &PlanCache{m: map[string]*Result{}, maxEntries: n}
+}
+
+// get returns the cached Result for the key, marking it as served from
+// the cache. The returned struct is a shallow copy so the FromCache flag
+// never leaks into the stored entry.
+func (c *PlanCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	cp := *res
+	cp.FromCache = true
+	return &cp, true
+}
+
+// put stores a complete Result. First writer wins: two racing Enumerate
+// calls compute identical Results for the same key (or equally valid ones
+// under cost-bound pruning), so overwriting would only churn. A full
+// cache evicts an arbitrary entry first.
+func (c *PlanCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	if c.maxEntries > 0 && len(c.m) >= c.maxEntries {
+		for victim := range c.m {
+			delete(c.m, victim)
+			break
+		}
+	}
+	c.m[key] = res
+}
+
+// Len returns the number of cached entries.
+func (c *PlanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Counters returns the lifetime hit and miss counts.
+func (c *PlanCache) Counters() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// cacheKey builds the lookup key: the canonical (binding-order-normalized,
+// renaming-invariant) root signature, the dependency set in order, and a
+// fingerprint of every option that can change the Result. In exhaustive
+// mode Parallelism is excluded — complete runs are byte-identical for
+// every worker count. In cost-bounded mode (Stats set) the explored
+// subset is schedule-dependent, so Parallelism joins the key: a serial
+// caller must not receive a parallel run's schedule-dependent Result.
+func cacheKey(q *core.Query, deps []*core.Dependency, opts Options) string {
+	var b strings.Builder
+	b.WriteString(q.NormalizeBindingOrder().Signature())
+	b.WriteString("\x00deps\x00")
+	for _, d := range deps {
+		b.WriteString(d.String())
+		b.WriteByte('\x00')
+	}
+	b.WriteString(opts.fingerprint())
+	return b.String()
+}
+
+// fingerprint renders the result-affecting options deterministically.
+func (o Options) fingerprint() string {
+	var b strings.Builder
+	writeInts(&b, o.MaxPlans, o.MaxStates, o.TopK, o.Chase.MaxSteps, o.Chase.MaxBindings)
+	writeFloat(&b, o.CostBudget)
+	if o.Stats != nil {
+		b.WriteString("\x00stats\x00")
+		writeInts(&b, o.Parallelism)
+		b.WriteString(o.Stats.Fingerprint())
+	}
+	return b.String()
+}
+
+func writeInts(b *strings.Builder, vals ...int) {
+	for _, v := range vals {
+		fmt.Fprintf(b, "%d;", v)
+	}
+}
+
+func writeFloat(b *strings.Builder, v float64) {
+	fmt.Fprintf(b, "%g;", v)
+}

@@ -1,0 +1,158 @@
+package backchase
+
+import (
+	"testing"
+
+	"cnb/internal/chase"
+	"cnb/internal/core"
+	"cnb/internal/cost"
+)
+
+// TestPlanCacheHitOnRepeat: the second enumeration of the same root is
+// served from the cache — identical result, FromCache set, one hit.
+func TestPlanCacheHitOnRepeat(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlanCache()
+	opts := Options{Parallelism: 2, Cache: cache}
+
+	first, err := Enumerate(chased.Query, deps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FromCache {
+		t.Error("first run must not be FromCache")
+	}
+	second, err := Enumerate(chased.Query, deps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FromCache {
+		t.Error("second run must be served from the cache")
+	}
+	// Identical payload (FromCache aside).
+	cp := *second
+	cp.FromCache = false
+	if resultFingerprint(&cp) != resultFingerprint(first) {
+		t.Error("cached result differs from the computed one")
+	}
+	if hits, misses := cache.Counters(); hits != 1 || misses != 1 {
+		t.Errorf("counters = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", cache.Len())
+	}
+}
+
+// TestPlanCacheHitAcrossRenaming: the key is the renaming-invariant
+// canonical signature, so an alpha-renamed root — a different Query
+// value describing the same plan — hits the same entry.
+func TestPlanCacheHitAcrossRenaming(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlanCache()
+	opts := Options{Parallelism: 2, Cache: cache}
+	if _, err := Enumerate(chased.Query, deps, opts); err != nil {
+		t.Fatal(err)
+	}
+	renamed := chased.Query.RenameVars(func(s string) string { return "zz_" + s })
+	res, err := Enumerate(renamed, deps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromCache {
+		t.Error("alpha-renamed root must hit the cache")
+	}
+}
+
+// TestPlanCacheKeySensitivity: result-affecting options and the
+// dependency set are part of the key.
+func TestPlanCacheKeySensitivity(t *testing.T) {
+	q := redundantTriple()
+	cache := NewPlanCache()
+	if _, err := Enumerate(q, nil, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// Different MaxPlans: must recompute.
+	res, err := Enumerate(q, nil, Options{Cache: cache, MaxPlans: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromCache {
+		t.Error("different MaxPlans must miss the cache")
+	}
+	// Different dependency set: must recompute.
+	dep := &core.Dependency{
+		Name:            "KEY_R",
+		Premise:         []core.Binding{{Var: "a", Range: core.Name("R")}, {Var: "b", Range: core.Name("R")}},
+		PremiseConds:    []core.Cond{{L: core.Prj(core.V("a"), "A"), R: core.Prj(core.V("b"), "A")}},
+		ConclusionConds: []core.Cond{{L: core.V("a"), R: core.V("b")}},
+	}
+	res, err = Enumerate(q, []*core.Dependency{dep}, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromCache {
+		t.Error("different dependency set must miss the cache")
+	}
+	// Different stats: must recompute.
+	stats := cost.NewStats()
+	stats.Card["R"] = 42
+	res, err = Enumerate(q, nil, Options{Cache: cache, Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromCache {
+		t.Error("different stats must miss the cache")
+	}
+	// Parallelism is excluded from the key on purpose.
+	res, err = Enumerate(q, nil, Options{Cache: cache, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromCache {
+		t.Error("parallelism must not be part of the cache key")
+	}
+}
+
+// TestPlanCacheEvictsWhenFull: the entry cap evicts rather than grows.
+func TestPlanCacheEvictsWhenFull(t *testing.T) {
+	cache := NewPlanCacheWithSize(2)
+	stats := []*cost.Stats{cost.NewStats(), cost.NewStats(), cost.NewStats()}
+	for i, s := range stats {
+		s.Card["R"] = float64(10 * (i + 1)) // three distinct cache keys
+		if _, err := Enumerate(redundantTriple(), nil, Options{Cache: cache, Stats: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, cap is 2", cache.Len())
+	}
+}
+
+// TestPlanCacheSkipsTruncatedRuns: a truncated (incomplete) result must
+// not poison the cache.
+func TestPlanCacheSkipsTruncatedRuns(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewPlanCache()
+	res, err := Enumerate(chased.Query, deps, Options{Cache: cache, MaxStates: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("MaxStates=3 must truncate")
+	}
+	if cache.Len() != 0 {
+		t.Errorf("truncated result was cached (%d entries)", cache.Len())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"hash/maphash"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -37,6 +38,7 @@ import (
 
 	"cnb/internal/chase"
 	"cnb/internal/core"
+	"cnb/internal/planrewrite"
 )
 
 const numShards = 32
@@ -46,24 +48,67 @@ type stateItem struct {
 	key     string          // canonical stateKey of removed
 	removed map[string]bool // removed binding variables of the root
 	q       *core.Query     // Subquery(root, removed)
+	prio    float64         // estimated cost (best-first mode only)
 }
 
-// workQueue is an unbounded FIFO with done-tracking: pending counts items
-// enqueued but not yet fully processed, so workers can distinguish "queue
-// momentarily empty" from "exploration finished".
+// workQueue is an unbounded work pool with done-tracking: pending counts
+// items enqueued but not yet fully processed, so workers can distinguish
+// "queue momentarily empty" from "exploration finished". In FIFO mode
+// (exhaustive search) items come out in insertion order; in ordered mode
+// (cost-bounded best-first search) they come out cheapest-priority first,
+// ties broken by state key so serial runs stay deterministic.
 type workQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	items   []stateItem
-	head    int
+	ordered bool
+	items   []stateItem // FIFO backlog, or a binary min-heap when ordered
+	head    int         // FIFO read position (unused when ordered)
 	pending int
 	stopped bool
 }
 
-func newWorkQueue() *workQueue {
-	wq := &workQueue{}
+func newWorkQueue(ordered bool) *workQueue {
+	wq := &workQueue{ordered: ordered}
 	wq.cond = sync.NewCond(&wq.mu)
 	return wq
+}
+
+func (wq *workQueue) less(i, j int) bool {
+	a, b := wq.items[i], wq.items[j]
+	if a.prio != b.prio {
+		return a.prio < b.prio
+	}
+	return a.key < b.key
+}
+
+func (wq *workQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wq.less(i, parent) {
+			return
+		}
+		wq.items[i], wq.items[parent] = wq.items[parent], wq.items[i]
+		i = parent
+	}
+}
+
+func (wq *workQueue) down(i int) {
+	n := len(wq.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && wq.less(l, min) {
+			min = l
+		}
+		if r < n && wq.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		wq.items[i], wq.items[min] = wq.items[min], wq.items[i]
+		i = min
+	}
 }
 
 func (wq *workQueue) push(it stateItem) {
@@ -73,6 +118,9 @@ func (wq *workQueue) push(it stateItem) {
 		return
 	}
 	wq.items = append(wq.items, it)
+	if wq.ordered {
+		wq.up(len(wq.items) - 1)
+	}
 	wq.pending++
 	wq.cond.Signal()
 }
@@ -86,7 +134,16 @@ func (wq *workQueue) pop() (stateItem, bool) {
 		if wq.stopped {
 			return stateItem{}, false
 		}
-		if wq.head < len(wq.items) {
+		if wq.ordered && len(wq.items) > 0 {
+			it := wq.items[0]
+			last := len(wq.items) - 1
+			wq.items[0] = wq.items[last]
+			wq.items[last] = stateItem{} // release for GC
+			wq.items = wq.items[:last]
+			wq.down(0)
+			return it, true
+		}
+		if !wq.ordered && wq.head < len(wq.items) {
 			it := wq.items[wq.head]
 			wq.items[wq.head] = stateItem{} // release for GC
 			wq.head++
@@ -139,6 +196,13 @@ type shard struct {
 	sub  map[string]*subEntry
 }
 
+// planEntry is a registered normal form with its estimated cost (NaN when
+// the engine runs without Stats).
+type planEntry struct {
+	q    *core.Query
+	cost float64
+}
+
 // engine is the shared state of one parallel backchase run.
 type engine struct {
 	root      *core.Query
@@ -151,10 +215,22 @@ type engine struct {
 	seed   maphash.Seed
 
 	states    atomic.Int64 // claimed states (visited-set size)
+	pruned    atomic.Int64 // claimed states skipped by the cost bound
 	truncated atomic.Bool
 
+	// bound is the float64 bits of the pruning bound: the cheapest
+	// complete-plan cost found so far, primed by Options.CostBudget.
+	// It only ever decreases. Unused (+Inf) without Stats.
+	bound atomic.Uint64
+	// best is the float64 bits of the cheapest cost achieved by an
+	// explored state or by any variant of a registered normal form's
+	// isomorphism class (variants of one plan can quick-estimate
+	// slightly differently), NOT primed by CostBudget — it is what
+	// Result.BestCost reports.
+	best atomic.Uint64
+
 	plansMu sync.Mutex
-	plans   map[string]*core.Query // normalized signature -> plan
+	plans   map[string]planEntry // normalized signature -> plan
 
 	errMu sync.Mutex
 	err   error // first hard error; aborts the run
@@ -170,16 +246,68 @@ func newEngine(ctx context.Context, q *core.Query, deps []*core.Dependency, opts
 		deps:      deps,
 		opts:      opts,
 		rootCanon: chase.NewCanon(res.Query),
-		queue:     newWorkQueue(),
+		queue:     newWorkQueue(opts.Stats != nil),
 		seed:      maphash.MakeSeed(),
-		plans:     map[string]*core.Query{},
+		plans:     map[string]planEntry{},
 	}
+	initialBound := math.Inf(1)
+	if opts.Stats != nil && opts.CostBudget > 0 {
+		initialBound = opts.CostBudget
+	}
+	e.bound.Store(math.Float64bits(initialBound))
+	e.best.Store(math.Float64bits(math.Inf(1)))
 	for i := range e.shards {
 		e.shards[i].seen = map[string]bool{}
 		e.shards[i].eq = map[string]*eqEntry{}
 		e.shards[i].sub = map[string]*subEntry{}
 	}
 	return e, nil
+}
+
+// costPlan estimates the executable cost of a state or plan the way the
+// optimizer's conventional phase will see it: guarded dom-loops collapsed
+// into non-failing lookups, then a greedy binding reorder (the quick
+// estimate — this runs for every enqueued lattice state, so the
+// exhaustive small-plan permutation search would dominate the search
+// itself). Pruning bound, queue priorities and Result.BestCost all use
+// this one metric so they are mutually comparable.
+func (e *engine) costPlan(q *core.Query) float64 {
+	return e.opts.Stats.EstimateQuick(planrewrite.SimplifyLookups(q))
+}
+
+// boundValue reads the current pruning bound.
+func (e *engine) boundValue() float64 {
+	return math.Float64frombits(e.bound.Load())
+}
+
+// noteCandidate lowers the pruning bound to the cost of a verified
+// equivalent plan that has been enqueued but not yet explored. The cost
+// is genuinely achievable, so it may prune — but it must not yet count
+// as Result.BestCost: under a CostBudget the state itself can still be
+// pruned before exploration, and BestCost only reports what the Result
+// actually contains.
+func (e *engine) noteCandidate(c float64) {
+	shrinkAtomicMin(&e.bound, c)
+}
+
+// noteAchieved lowers both the pruning bound and the best-seen cost: the
+// plan with this cost is part of the Result (an explored state or a
+// registered normal form).
+func (e *engine) noteAchieved(c float64) {
+	shrinkAtomicMin(&e.bound, c)
+	shrinkAtomicMin(&e.best, c)
+}
+
+func shrinkAtomicMin(a *atomic.Uint64, c float64) {
+	for {
+		old := a.Load()
+		if math.Float64frombits(old) <= c {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(c)) {
+			return
+		}
+	}
 }
 
 func (e *engine) shard(key string) *shard {
@@ -223,6 +351,22 @@ func (e *engine) claim(key string) bool {
 	return true
 }
 
+// markPruned marks a cost-pruned candidate state visited WITHOUT
+// consuming the MaxStates budget: the state is never explored (no chase,
+// no successors), so charging it against the exploration budget would
+// make the engine report truncation while the explored count is far
+// below MaxStates. Returns true exactly once per state, like claim.
+func (e *engine) markPruned(key string) bool {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.seen[key] {
+		return false
+	}
+	sh.seen[key] = true
+	return true
+}
+
 // fail records the first hard error and aborts the run.
 func (e *engine) fail(err error) {
 	e.errMu.Lock()
@@ -258,19 +402,42 @@ func (e *engine) plansFull() bool {
 // reported plan set is independent of scheduling.
 func (e *engine) addPlan(cur *core.Query) {
 	plan := Normalize(cur, e.deps, e.opts.Chase)
+	cost := math.NaN()
+	if e.opts.Stats != nil {
+		cost = e.costPlan(plan)
+		// The cost is achieved by the search whether or not the plan
+		// lands in the (possibly MaxPlans-capped) result, so it may
+		// tighten the pruning bound — but BestCost only reports plans
+		// whose isomorphism class the Result actually contains, so
+		// noteAchieved waits until the plan is registered below.
+		e.noteCandidate(cost)
+	}
 	psig := plan.NormalizeBindingOrder().Signature()
 	e.plansMu.Lock()
 	prev, dup := e.plans[psig]
 	full := e.opts.MaxPlans > 0 && len(e.plans) >= e.opts.MaxPlans
 	switch {
 	case dup:
-		if plan.NormalizeBindingOrder().String() < prev.NormalizeBindingOrder().String() {
-			e.plans[psig] = plan
+		// Isomorphic variants of one plan can quick-estimate slightly
+		// differently (greedy reorder tie-breaks on binding position);
+		// the entry keeps the representative with the canonical smallest
+		// rendering but the cheapest cost seen for the class, so the
+		// plan ordering and BestCost stay schedule-independent.
+		ent := prev
+		if plan.NormalizeBindingOrder().String() < prev.q.NormalizeBindingOrder().String() {
+			ent.q = plan
 		}
+		if e.opts.Stats != nil && cost < ent.cost {
+			ent.cost = cost
+		}
+		e.plans[psig] = ent
 	case !full:
-		e.plans[psig] = plan
+		e.plans[psig] = planEntry{q: plan, cost: cost}
 	}
 	e.plansMu.Unlock()
+	if e.opts.Stats != nil && (dup || !full) {
+		e.noteAchieved(cost)
+	}
 	if !dup && full {
 		e.truncated.Store(true)
 		e.queue.stop()
@@ -354,12 +521,12 @@ func (e *engine) equivalentToRoot(ctx context.Context, sub *core.Query) (bool, e
 	return containedContext(ctx, sub, e.root, e.deps, e.opts.Chase)
 }
 
-// tryRemove attempts a backchase step eliminating the named binding on
-// top of the already-removed set, cascading to dependent bindings that
-// cannot be re-expressed. Returns the grown (canonicalized) removal set
-// and the resulting subquery, or nils if the step is unsound or
-// impossible.
-func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v string) (map[string]bool, *core.Query, error) {
+// buildCandidate constructs the candidate state for removing the named
+// binding on top of the already-removed set, cascading to dependent
+// bindings that cannot be re-expressed. Returns the grown (canonicalized)
+// removal set, its state key and the subquery, or nils if the
+// construction is impossible. No equivalence check happens here.
+func (e *engine) buildCandidate(removed map[string]bool, v string) (map[string]bool, string, *core.Query) {
 	grown := make(map[string]bool, len(removed)+1)
 	for r := range removed {
 		grown[r] = true
@@ -368,7 +535,7 @@ func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v strin
 
 	sub := e.cachedSubquery(e.stateKey(grown), grown)
 	if sub == nil || len(sub.Bindings) == 0 {
-		return nil, nil, nil
+		return nil, "", nil
 	}
 	// The cascade may have removed more variables; canonicalize the set.
 	surviving := sub.BoundVars()
@@ -378,8 +545,18 @@ func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v strin
 			full[b.Var] = true
 		}
 	}
-	fullKey := e.stateKey(full)
+	return full, e.stateKey(full), sub
+}
 
+// tryRemove attempts a backchase step eliminating the named binding:
+// buildCandidate plus the chase-based equivalence check. Returns the
+// grown removal set and the resulting subquery, or nils if the step is
+// unsound or impossible.
+func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v string) (map[string]bool, *core.Query, error) {
+	full, fullKey, sub := e.buildCandidate(removed, v)
+	if sub == nil {
+		return nil, nil, nil
+	}
 	eq, err := e.equivalence(ctx, fullKey, sub)
 	if err != nil || !eq {
 		return nil, nil, err
@@ -390,8 +567,37 @@ func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v strin
 // process explores one claimed state: record it, try every single-binding
 // removal, enqueue unseen sound successors, and register the state as a
 // normal form if no removal applies.
+//
+// In cost-bounded mode the state is first re-checked against the pruning
+// bound (it may have shrunk since the state was enqueued): every plan
+// reachable below it costs at least Stats.LowerBound(it.q) — removals
+// only shrink the binding set, see the admissibility argument on
+// LowerBound — so when that exceeds the cheapest complete plan already
+// known the whole subtree is skipped without a single chase. Candidate
+// successors get the same treatment before their equivalence check: a
+// candidate whose lower bound beats the bound is claimed, counted as
+// pruned and never chased. The bound itself shrinks from two sources:
+// every verified state is a complete equivalent plan (the backchase is an
+// anytime rewriting, §4), so both enqueued states and registered normal
+// forms lower it. The bound only ever shrinks, so a state pruned now
+// would also be pruned later — pruning is never retried.
+//
+// Cost-skipping an unverified candidate means its parent can no longer
+// tell whether that removal was sound, so the parent may register itself
+// as a "normal form" conservatively; under Stats, Result.Plans is
+// therefore "cheapest plans found" rather than "all minimal plans" (the
+// skipped candidate costs more than the bound, so the cheapest plan is
+// unaffected).
 func (e *engine) process(ctx context.Context, w *worker, it stateItem) error {
+	costed := e.opts.Stats != nil
+	if costed && e.opts.Stats.LowerBound(it.q) > e.boundValue() {
+		e.pruned.Add(1)
+		return nil
+	}
 	w.explored = append(w.explored, it)
+	if costed {
+		e.noteAchieved(it.prio)
+	}
 	normal := true
 	for _, b := range it.q.Bindings {
 		if err := ctx.Err(); err != nil {
@@ -401,17 +607,34 @@ func (e *engine) process(ctx context.Context, w *worker, it stateItem) error {
 			e.truncated.Store(true)
 			return nil
 		}
-		full, sub, err := e.tryRemove(ctx, it.removed, b.Var)
+		full, fullKey, sub := e.buildCandidate(it.removed, b.Var)
+		if sub == nil {
+			continue
+		}
+		if costed && e.opts.Stats.LowerBound(sub) > e.boundValue() {
+			// Too expensive to ever matter: mark it visited so no other
+			// parent re-considers it, skip the chase-based equivalence
+			// check, and leave the MaxStates budget untouched.
+			if e.markPruned(fullKey) {
+				e.pruned.Add(1)
+			}
+			continue
+		}
+		eq, err := e.equivalence(ctx, fullKey, sub)
 		if err != nil {
 			return err
 		}
-		if full == nil {
+		if !eq {
 			continue
 		}
 		normal = false
-		key := e.stateKey(full)
-		if e.claim(key) {
-			e.queue.push(stateItem{key: key, removed: full, q: sub})
+		if e.claim(fullKey) {
+			next := stateItem{key: fullKey, removed: full, q: sub}
+			if costed {
+				next.prio = e.costPlan(sub)
+				e.noteCandidate(next.prio)
+			}
+			e.queue.push(next)
 		}
 	}
 	if normal {
@@ -447,6 +670,12 @@ func (e *engine) run(ctx context.Context, w *worker) {
 // assembles the deterministic Result.
 func (e *engine) enumerate(ctx context.Context, parallelism int) (*Result, error) {
 	rootItem := stateItem{key: "", removed: map[string]bool{}, q: e.root}
+	if e.opts.Stats != nil {
+		// The root (the universal plan) is itself a complete equivalent
+		// plan; its cost seeds the pruning bound.
+		rootItem.prio = e.costPlan(e.root)
+		e.noteCandidate(rootItem.prio)
+	}
 	e.claim(rootItem.key)
 	e.queue.push(rootItem)
 
@@ -468,11 +697,21 @@ func (e *engine) enumerate(ctx context.Context, parallelism int) (*Result, error
 	}
 	sortStates(all)
 
-	res := &Result{States: len(all), Truncated: e.truncated.Load()}
+	res := &Result{
+		States:    len(all),
+		Pruned:    int(e.pruned.Load()),
+		Truncated: e.truncated.Load(),
+	}
 	for _, it := range all {
 		res.Explored = append(res.Explored, it.q)
 	}
 	res.Plans = e.sortedPlans()
+	if e.opts.Stats != nil {
+		res.BestCost = math.Float64frombits(e.best.Load())
+		if e.opts.TopK > 0 && len(res.Plans) > e.opts.TopK {
+			res.Plans = res.Plans[:e.opts.TopK]
+		}
+	}
 
 	err := e.firstErr()
 	switch {
@@ -489,30 +728,36 @@ func (e *engine) enumerate(ctx context.Context, parallelism int) (*Result, error
 	}
 }
 
-// sortedPlans returns the collected normal forms in canonical order:
-// ascending size, then renaming-invariant signature. The order is a pure
-// function of the plan set, so it is stable across worker interleavings.
+// sortedPlans returns the collected normal forms in canonical order.
+// Without Stats the order is ascending size then renaming-invariant
+// signature (a pure function of the plan set, stable across worker
+// interleavings); with Stats plans come cheapest first (ties by size
+// then signature).
 func (e *engine) sortedPlans() []*core.Query {
 	e.plansMu.Lock()
 	defer e.plansMu.Unlock()
 	type entry struct {
 		sig string
-		q   *core.Query
+		p   planEntry
 	}
 	entries := make([]entry, 0, len(e.plans))
-	for sig, q := range e.plans {
-		entries = append(entries, entry{sig, q})
+	for sig, p := range e.plans {
+		entries = append(entries, entry{sig, p})
 	}
+	costed := e.opts.Stats != nil
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
-		if len(a.q.Bindings) != len(b.q.Bindings) {
-			return len(a.q.Bindings) < len(b.q.Bindings)
+		if costed && a.p.cost != b.p.cost {
+			return a.p.cost < b.p.cost
+		}
+		if len(a.p.q.Bindings) != len(b.p.q.Bindings) {
+			return len(a.p.q.Bindings) < len(b.p.q.Bindings)
 		}
 		return a.sig < b.sig
 	})
 	out := make([]*core.Query, len(entries))
 	for i, en := range entries {
-		out[i] = en.q
+		out[i] = en.p.q
 	}
 	return out
 }

@@ -1,0 +1,234 @@
+package backchase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cnb/internal/chase"
+	"cnb/internal/core"
+	"cnb/internal/cost"
+	"cnb/internal/planrewrite"
+)
+
+// randomStats draws a random but internally consistent statistics catalog
+// for the flat R/S/T relations of the differential generator, so the
+// pruning bound and priorities vary wildly across cases.
+func randomStats(r *rand.Rand) *cost.Stats {
+	s := cost.NewStats()
+	for _, n := range []string{"R", "S", "T"} {
+		card := 1 + r.Intn(10000)
+		s.Card[n] = float64(card)
+		for _, f := range diffFields {
+			s.Distinct[n+"."+f] = float64(1 + r.Intn(card))
+		}
+	}
+	return s
+}
+
+// cheapestEncountered reproduces the engine's BestCost metric from the
+// outside: the cheapest quick-estimated executable cost over every
+// explored state (raw) and registered plan (normalized), together with
+// the query achieving it.
+func cheapestEncountered(stats *cost.Stats, res *Result) (float64, *core.Query) {
+	best := math.Inf(1)
+	var bq *core.Query
+	consider := func(q *core.Query) {
+		c := stats.EstimateQuick(planrewrite.SimplifyLookups(q))
+		if c < best {
+			best = c
+			bq = q
+		}
+	}
+	for _, p := range res.Plans {
+		consider(p)
+	}
+	for _, p := range res.Explored {
+		consider(p)
+	}
+	return best, bq
+}
+
+// TestPruningSoundnessRandomized is the cost-bound analogue of the
+// Enumerate-vs-brute-force differential suite: on randomized
+// query/dependency/statistics triples, best-first search with pruning
+// must (a) never claim more states than the exhaustive search, (b) reach
+// a cheapest plan at least as cheap as the exhaustive cheapest under the
+// engine's own metric, and (c) produce a cheapest plan chase-equivalent
+// to the exhaustive cheapest — all across Parallelism 1/2/8.
+func TestPruningSoundnessRandomized(t *testing.T) {
+	const cases = 60
+	r := rand.New(rand.NewSource(1234))
+	for i := 0; i < cases; i++ {
+		q := randomQuery(r)
+		deps := randomDeps(r)
+		stats := randomStats(r)
+
+		ex, err := Enumerate(q, deps, Options{Parallelism: 2})
+		if err != nil {
+			t.Fatalf("case %d: exhaustive: %v\nquery:\n%s", i, err, q)
+		}
+		if ex.Truncated {
+			t.Fatalf("case %d: unexpected truncation", i)
+		}
+		exBest, exPlan := cheapestEncountered(stats, ex)
+
+		for _, par := range []int{1, 2, 8} {
+			pr, err := Enumerate(q, deps, Options{Parallelism: par, Stats: stats})
+			if err != nil {
+				t.Fatalf("case %d par %d: pruned: %v\nquery:\n%s", i, par, err, q)
+			}
+			if pr.Truncated {
+				t.Fatalf("case %d par %d: unexpected truncation", i, par)
+			}
+			// Explored states are verified-equivalent and reached through
+			// verified parents, so they are a subset of the exhaustive
+			// reachable set. (States + Pruned can legitimately exceed
+			// ex.States: pruning also skips candidates whose equivalence
+			// was never verified and which the exhaustive search rejects.)
+			if pr.States > ex.States {
+				t.Errorf("case %d par %d: pruned run explored %d states, exhaustive %d\nquery:\n%s",
+					i, par, pr.States, ex.States, q)
+			}
+			prBest, prPlan := cheapestEncountered(stats, pr)
+			// Soundness: pruning must never lose the cheapest plan. (It may
+			// find a cheaper normalized rendering of a state the exhaustive
+			// search left un-normalized, hence <=, not ==.)
+			const eps = 1e-6
+			if prBest > exBest*(1+eps)+eps {
+				t.Errorf("case %d par %d: pruned cheapest %.6f worse than exhaustive %.6f\nquery:\n%s",
+					i, par, prBest, exBest, q)
+			}
+			// BestCost is the minimum over every achieved cost, including
+			// discarded isomorphic plan variants whose quick estimate can
+			// undercut the stored rendering's — so it lower-bounds the
+			// recomputation but never exceeds it.
+			if pr.BestCost > prBest*(1+eps)+eps {
+				t.Errorf("case %d par %d: Result.BestCost %.6f exceeds recomputed %.6f",
+					i, par, pr.BestCost, prBest)
+			}
+			if prPlan == nil || exPlan == nil {
+				t.Fatalf("case %d par %d: missing cheapest plan (pruned %v exhaustive %v)",
+					i, par, prPlan != nil, exPlan != nil)
+			}
+			eq, err := Equivalent(prPlan, exPlan, deps, chase.Options{})
+			if err != nil {
+				t.Fatalf("case %d par %d: equivalence: %v", i, par, err)
+			}
+			if !eq {
+				t.Errorf("case %d par %d: cheapest plans not chase-equivalent\npruned:\n%s\nexhaustive:\n%s",
+					i, par, prPlan, exPlan)
+			}
+		}
+	}
+}
+
+// TestPrunedSerialDeterminism pins the serial cost-bounded search: with
+// one worker the priority queue (ties broken by state key), the bound
+// evolution and therefore the whole Result are deterministic across runs.
+func TestPrunedSerialDeterminism(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cost.NewStats()
+	stats.Card["Proj"] = 5000
+	stats.Card["depts"] = 500
+	stats.Card["SI"] = 40
+	stats.Card["I"] = 5000
+	stats.Card["Dept"] = 500
+	stats.Card["JI"] = 5000
+	stats.EntryFanout["SI"] = 125
+	var ref string
+	for run := 0; run < 3; run++ {
+		res, err := Enumerate(chased.Query, deps, Options{Parallelism: 1, Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := resultFingerprint(res)
+		if ref == "" {
+			ref = fp
+		} else if fp != ref {
+			t.Fatalf("run %d: serial pruned result differs\ngot:\n%s\nwant:\n%s", run, fp, ref)
+		}
+	}
+}
+
+// TestCostBudgetPrunesEverything pins the CostBudget semantics: a budget
+// below every reachable plan's lower bound prunes the root itself, so the
+// run finishes with no plans and an infinite BestCost.
+func TestCostBudgetPrunesEverything(t *testing.T) {
+	q := &core.Query{
+		Out: core.Prj(core.V("x0"), "A"),
+		Bindings: []core.Binding{
+			{Var: "x0", Range: core.Name("R")},
+			{Var: "x1", Range: core.Name("R")},
+		},
+		Conds: []core.Cond{{L: core.V("x0"), R: core.V("x1")}},
+	}
+	stats := cost.NewStats()
+	stats.Card["R"] = 1000
+	res, err := Enumerate(q, nil, Options{Stats: stats, CostBudget: 0.5, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned == 0 {
+		t.Error("budget below every lower bound must prune")
+	}
+	if res.States != 0 || len(res.Plans) != 0 {
+		t.Errorf("states = %d, plans = %d; want 0, 0 under an impossible budget",
+			res.States, len(res.Plans))
+	}
+	if !math.IsInf(res.BestCost, 1) {
+		t.Errorf("BestCost = %v, want +Inf", res.BestCost)
+	}
+}
+
+// TestCostBudgetGenerousKeepsCheapest: a budget far above the cheapest
+// plan changes nothing about the cheapest plan found.
+func TestCostBudgetGenerousKeepsCheapest(t *testing.T) {
+	q := redundantTriple()
+	stats := cost.NewStats()
+	stats.Card["R"] = 100
+	free, err := Enumerate(q, nil, Options{Stats: stats, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Enumerate(q, nil, Options{Stats: stats, CostBudget: 1e9, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.BestCost != budgeted.BestCost {
+		t.Errorf("BestCost %v with budget vs %v without", budgeted.BestCost, free.BestCost)
+	}
+}
+
+// TestTopKLimitsPlans: TopK returns only the K cheapest plans without
+// affecting BestCost.
+func TestTopKLimitsPlans(t *testing.T) {
+	deps := projDeptDeps()
+	chased, err := chase.Chase(projDeptQuery(), deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := cost.NewStats()
+	stats.Card["Proj"] = 5000
+	all, err := Enumerate(chased.Query, deps, Options{Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Plans) < 2 {
+		t.Skipf("need >= 2 plans to exercise TopK, got %d", len(all.Plans))
+	}
+	top, err := Enumerate(chased.Query, deps, Options{Stats: stats, TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Plans) != 1 {
+		t.Errorf("TopK=1 returned %d plans", len(top.Plans))
+	}
+	if top.BestCost != all.BestCost {
+		t.Errorf("TopK changed BestCost: %v vs %v", top.BestCost, all.BestCost)
+	}
+}

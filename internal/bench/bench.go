@@ -7,6 +7,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"time"
@@ -35,6 +36,10 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics holds machine-readable headline numbers of the experiment
+	// (states explored, speedups, ...), exported by chasebench -json so
+	// CI can archive a perf trajectory. Optional.
+	Metrics map[string]float64
 }
 
 // String renders the table as aligned text.
@@ -93,6 +98,7 @@ func All() []Experiment {
 		{"E10", "Plan-space comparison vs views-only baseline (§4, §6)", E10},
 		{"E11", "Semantic optimization: constraints enable plans (§2)", E11},
 		{"E12", "Parallel backchase: serial vs worker-pool wall clock", E12},
+		{"E13", "Cost-bounded best-first backchase vs exhaustive (star/snowflake)", E13},
 	}
 }
 
@@ -725,6 +731,116 @@ func E12() (*Table, error) {
 		return nil, err
 	}
 	tb.Notes = append(tb.Notes, "equivalence checks dominate; the worker pool hides their latency while the single-flight cache keeps total chase work identical")
+	return tb, nil
+}
+
+// e13Workloads returns the star/snowflake scenarios E13 measures,
+// paired with instance sizes whose statistics make the scan floors
+// (fact, dimensions, views) dwarf the index-navigation plan that the
+// FK constraints enable — the regime where the admissible bound prunes.
+func e13Workloads() []struct {
+	Name string
+	Cfg  workload.StarConfig
+	Gen  workload.StarGenOptions
+} {
+	gen := workload.StarGenOptions{NumFact: 6000, NumDim: 3000, NumSub: 1000, DomA: 1000, Seed: 1}
+	base := workload.StarConfig{
+		Dims: 2, Views: 1, FactIndexes: 1, DimIndex: true,
+		Select: true, SelectA: 3, FKConstraints: true,
+	}
+	twoViews := base
+	twoViews.Views = 2
+	snow := base
+	snow.Snowflake = true
+	return []struct {
+		Name string
+		Cfg  workload.StarConfig
+		Gen  workload.StarGenOptions
+	}{
+		{"star d=2 v=1", base, gen},
+		{"star d=2 v=2", twoViews, gen},
+		{"snowflake d=2 v=1", snow, gen},
+	}
+}
+
+// e13Cheapest recomputes the engine's BestCost metric from the outside:
+// cheapest quick-estimated executable cost over every explored state and
+// plan of the result.
+func e13Cheapest(stats *cost.Stats, res *backchase.Result) float64 {
+	best := math.Inf(1)
+	for _, qs := range [][]*core.Query{res.Plans, res.Explored} {
+		for _, p := range qs {
+			if c := stats.EstimateQuick(optimizer.SimplifyLookups(p)); c < best {
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// E13 compares the cost-bounded best-first backchase against exhaustive
+// enumeration on the star/snowflake family: the pruned search must
+// explore strictly fewer states while reaching a plan of identical
+// estimated cost.
+func E13() (*Table, error) {
+	tb := &Table{
+		ID:      "E13",
+		Title:   "Cost-bounded best-first backchase vs exhaustive (star/snowflake)",
+		Columns: []string{"workload", "U bindings", "mode", "states", "pruned", "plans", "time", "best cost", "agree"},
+		Metrics: map[string]float64{},
+	}
+	var totalEx, totalPr, totalPruned float64
+	var totalExT, totalPrT time.Duration
+	for _, wl := range e13Workloads() {
+		s, err := workload.NewStar(wl.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		chased, err := chase.Chase(s.Q, s.Deps, chase.Options{})
+		if err != nil {
+			return nil, err
+		}
+		stats := cost.FromInstance(s.Generate(wl.Gen))
+
+		t0 := time.Now()
+		ex, err := backchase.Enumerate(chased.Query, s.Deps, backchase.Options{Parallelism: Parallelism})
+		if err != nil {
+			return nil, err
+		}
+		exT := time.Since(t0)
+		exBest := e13Cheapest(stats, ex)
+
+		t1 := time.Now()
+		pr, err := backchase.Enumerate(chased.Query, s.Deps, backchase.Options{Parallelism: Parallelism, Stats: stats})
+		if err != nil {
+			return nil, err
+		}
+		prT := time.Since(t1)
+
+		agree := pr.States < ex.States && math.Abs(pr.BestCost-exBest) <= 1e-9*math.Max(1, exBest)
+		tb.Rows = append(tb.Rows,
+			[]string{wl.Name, fmt.Sprintf("%d", len(chased.Query.Bindings)), "exhaustive",
+				fmt.Sprintf("%d", ex.States), "-", fmt.Sprintf("%d", len(ex.Plans)),
+				exT.Round(time.Millisecond).String(), fmt.Sprintf("%.1f", exBest), ""},
+			[]string{wl.Name, fmt.Sprintf("%d", len(chased.Query.Bindings)), "cost-bounded",
+				fmt.Sprintf("%d", pr.States), fmt.Sprintf("%d", pr.Pruned), fmt.Sprintf("%d", len(pr.Plans)),
+				prT.Round(time.Millisecond).String(), fmt.Sprintf("%.1f", pr.BestCost),
+				fmt.Sprintf("%v", agree)})
+		totalEx += float64(ex.States)
+		totalPr += float64(pr.States)
+		totalPruned += float64(pr.Pruned)
+		totalExT += exT
+		totalPrT += prT
+	}
+	tb.Metrics["exhaustive_states"] = totalEx
+	tb.Metrics["cost_bounded_states"] = totalPr
+	tb.Metrics["pruned_states"] = totalPruned
+	tb.Metrics["exhaustive_ms"] = float64(totalExT.Milliseconds())
+	tb.Metrics["cost_bounded_ms"] = float64(totalPrT.Milliseconds())
+	tb.Notes = append(tb.Notes,
+		"agree = fewer states explored AND identical best cost (engine metric, 1e-9 relative tolerance)",
+		fmt.Sprintf("totals: exhaustive %v over %.0f states, cost-bounded %v over %.0f (+%.0f pruned without a chase)",
+			totalExT.Round(time.Millisecond), totalEx, totalPrT.Round(time.Millisecond), totalPr, totalPruned))
 	return tb, nil
 }
 

@@ -55,6 +55,32 @@ func TestE7AllAgree(t *testing.T) {
 	}
 }
 
+// TestE13PrunesWithIdenticalCost pins the headline claim of the
+// cost-bounded backchase: on every star/snowflake workload the pruned
+// search explores strictly fewer states than exhaustive enumeration and
+// reaches a cheapest plan of identical estimated cost.
+func TestE13PrunesWithIdenticalCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E13 runs full lattice enumerations")
+	}
+	tb, err := E13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[2] == "cost-bounded" && row[len(row)-1] != "true" {
+			t.Errorf("workload %q: pruned search did not agree with exhaustive: %v", row[0], row)
+		}
+	}
+	if tb.Metrics["cost_bounded_states"] >= tb.Metrics["exhaustive_states"] {
+		t.Errorf("cost-bounded explored %v states, exhaustive %v — expected strictly fewer",
+			tb.Metrics["cost_bounded_states"], tb.Metrics["exhaustive_states"])
+	}
+	if tb.Metrics["pruned_states"] == 0 {
+		t.Error("no states were pruned on the star/snowflake family")
+	}
+}
+
 func TestE3AlwaysMinimizesToTwo(t *testing.T) {
 	tb, err := E3()
 	if err != nil {

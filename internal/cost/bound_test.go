@@ -1,0 +1,125 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"cnb/internal/core"
+)
+
+func boundStats() *Stats {
+	s := NewStats()
+	s.Card["Fact"] = 6000
+	s.Card["D"] = 3000
+	s.Card["SI"] = 100
+	return s
+}
+
+// TestLowerBoundScanFloors: bare scans floor at their cardinality, dom
+// scans at the dictionary cardinality, and the bound takes the minimum.
+func TestLowerBoundScanFloors(t *testing.T) {
+	s := boundStats()
+	q := &core.Query{
+		Out: core.V("f"),
+		Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "d", Range: core.Name("D")},
+		},
+	}
+	if lb := s.LowerBound(q); lb != 3000 {
+		t.Errorf("LowerBound = %v, want 3000 (the cheaper scan)", lb)
+	}
+	q.Bindings = append(q.Bindings, core.Binding{Var: "k", Range: core.Dom(core.Name("SI"))})
+	if lb := s.LowerBound(q); lb != 100 {
+		t.Errorf("LowerBound with dom scan = %v, want 100", lb)
+	}
+}
+
+// TestLowerBoundLookupIsZero: a lookup binding can be substituted into
+// an arbitrarily cheap form downstream, so it contributes no floor.
+func TestLowerBoundLookupIsZero(t *testing.T) {
+	s := boundStats()
+	q := &core.Query{
+		Out: core.V("x"),
+		Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "k", Range: core.Dom(core.Name("SI"))},
+			{Var: "x", Range: core.Lk(core.Name("SI"), core.V("k"))},
+		},
+	}
+	if lb := s.LowerBound(q); lb != 0 {
+		t.Errorf("LowerBound with a lookup binding = %v, want 0", lb)
+	}
+}
+
+// TestLowerBoundAdmissibleForEstimates: the floor must under-estimate
+// both the quick and the full estimate of the query itself — the
+// first-binding argument applied to the identity rewrite.
+func TestLowerBoundAdmissibleForEstimates(t *testing.T) {
+	s := boundStats()
+	q := &core.Query{
+		Out: core.Prj(core.V("f"), "M"),
+		Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "d", Range: core.Name("D")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("f"), "K"), R: core.Prj(core.V("d"), "K")}},
+	}
+	lb := s.LowerBound(q)
+	if quick := s.EstimateQuick(q); quick < lb {
+		t.Errorf("EstimateQuick %v below LowerBound %v", quick, lb)
+	}
+	if best := s.EstimateBest(q); best < lb {
+		t.Errorf("EstimateBest %v below LowerBound %v", best, lb)
+	}
+}
+
+// TestLowerBoundEmptyQuery: no bindings means no claim.
+func TestLowerBoundEmptyQuery(t *testing.T) {
+	if lb := boundStats().LowerBound(&core.Query{Out: core.C("x")}); lb != 0 {
+		t.Errorf("LowerBound of empty query = %v, want 0", lb)
+	}
+}
+
+// TestEstimateQuickMatchesGreedyOrder: quick estimation equals the plain
+// estimate of the greedily reordered plan and never beats EstimateBest.
+func TestEstimateQuickMatchesGreedyOrder(t *testing.T) {
+	s := boundStats()
+	s.Distinct["Fact.K"] = 3000
+	s.Distinct["D.K"] = 3000
+	q := &core.Query{
+		Out: core.Prj(core.V("f"), "M"),
+		Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "d", Range: core.Name("D")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("f"), "K"), R: core.Prj(core.V("d"), "K")}},
+	}
+	quick := s.EstimateQuick(q)
+	best := s.EstimateBest(q)
+	if best > quick {
+		t.Errorf("EstimateBest %v worse than EstimateQuick %v", best, quick)
+	}
+	if math.IsNaN(quick) || math.IsInf(quick, 0) {
+		t.Errorf("EstimateQuick = %v", quick)
+	}
+}
+
+// TestFingerprintDeterministicAndSensitive: equal stats produce equal
+// fingerprints regardless of map iteration order; any changed number
+// changes the fingerprint.
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	a := boundStats()
+	b := boundStats()
+	a.Distinct["Fact.K"] = 10
+	b.Distinct["Fact.K"] = 10
+	a.HashBuildNames["H"] = true
+	b.HashBuildNames["H"] = true
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical stats fingerprint differently")
+	}
+	b.Card["Fact"] = 6001
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("changed cardinality did not change the fingerprint")
+	}
+}

@@ -13,8 +13,10 @@
 package cost
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"cnb/internal/core"
 	"cnb/internal/instance"
@@ -434,6 +436,106 @@ func condReady(c core.Cond, bound map[string]bool) bool {
 		}
 	}
 	return true
+}
+
+// EstimateBest reorders the plan's bindings and returns the estimated
+// cost of the best order found — the cost the optimizer would attribute
+// to the plan.
+func (s *Stats) EstimateBest(q *core.Query) float64 {
+	c, _ := s.Estimate(s.Reorder(q))
+	return c
+}
+
+// EstimateQuick estimates the plan's cost under the greedy binding order
+// only, skipping the exhaustive small-plan permutation search of Reorder.
+// It is the metric of the cost-bounded backchase, which estimates every
+// enqueued lattice state: the greedy order is an achievable execution
+// order, so the value is a true (achievable) plan cost and a sound
+// pruning bound — just not always the cheapest order the final
+// conventional-optimization phase will find.
+func (s *Stats) EstimateQuick(q *core.Query) float64 {
+	if len(q.Bindings) <= 1 {
+		c, _ := s.Estimate(q)
+		return c
+	}
+	c, _ := s.Estimate(s.reorderGreedy(q))
+	return c
+}
+
+// LowerBound returns an admissible lower bound on the estimated cost of
+// every executable plan reachable from the given backchase state
+// (subquery) — including after non-failing-lookup simplification and
+// binding reorder.
+//
+// The argument: every term of Estimate is non-negative and the first
+// binding of any plan is charged at multiplicity 1, so
+//
+//	Estimate(plan, any order) >= scanCost(plan's first binding).
+//
+// The backchase only removes bindings and every later rewrite
+// (congruent range rewriting in Subquery, substitution and dom-loop
+// elimination in planrewrite.SimplifyLookups, condition pruning in
+// Normalize) maps each surviving binding of a descendant plan back to a
+// binding of this state. A binding whose range is a bare scan — a KName,
+// or dom(KName) — mentions no variables, so none of those rewrites can
+// touch it: it either survives verbatim (costing its full cardinality
+// wherever it lands) or is dropped. Any other range (lookups, dependent
+// projections) can be substituted into arbitrarily cheap forms, so it
+// contributes a floor of 0. Hence
+//
+//	min over bindings of scanFloor(range) <= Estimate of any
+//	reachable plan,
+//
+// and pruning a state whose LowerBound exceeds the cost of an already
+// known complete plan can never discard a strictly cheaper plan.
+func (s *Stats) LowerBound(q *core.Query) float64 {
+	lb := math.Inf(1)
+	for _, b := range q.Bindings {
+		f := 0.0
+		switch {
+		case b.Range.Kind == core.KName:
+			f = s.card(b.Range.Name)
+		case b.Range.Kind == core.KDom && b.Range.Base.Kind == core.KName:
+			f = s.card(b.Range.Base.Name)
+		}
+		if f < lb {
+			lb = f
+		}
+	}
+	if math.IsInf(lb, 1) {
+		return 0
+	}
+	return lb
+}
+
+// Fingerprint renders the statistics deterministically (sorted keys), so
+// they can participate in cache keys: two Stats with equal fingerprints
+// produce identical estimates.
+func (s *Stats) Fingerprint() string {
+	var b strings.Builder
+	writeMap := func(label string, m map[string]float64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString(label)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%g;", k, m[k])
+		}
+		b.WriteByte('\n')
+	}
+	writeMap("card:", s.Card)
+	writeMap("entry:", s.EntryFanout)
+	writeMap("field:", s.FieldFanout)
+	writeMap("distinct:", s.Distinct)
+	hb := make([]string, 0, len(s.HashBuildNames))
+	for k := range s.HashBuildNames {
+		hb = append(hb, k)
+	}
+	sort.Strings(hb)
+	fmt.Fprintf(&b, "hash:%s\nsel=%g lookup=%g\n", strings.Join(hb, ";"), s.DefaultSelectivity, s.LookupCost)
+	return b.String()
 }
 
 // RankPlans sorts plans by estimated cost (ascending), reordering each

@@ -1,0 +1,101 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cnb/internal/backchase"
+	"cnb/internal/cost"
+	"cnb/internal/workload"
+)
+
+// TestCostBoundedOptimizeMatchesExhaustive: with CostBounded set the
+// backchase explores (at most) a subset of the lattice, but the chosen
+// plan's cost must match the exhaustive optimizer's — a pruned state is
+// always costlier than some state the pruned run kept, under both the
+// engine's quick metric and the optimizer's full ranking metric.
+func TestCostBoundedOptimizeMatchesExhaustive(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pd.Generate(workload.GenOptions{NumDepts: 100, ProjsPerDept: 10, CitiBankShare: 0.01, Seed: 2})
+	stats := cost.FromInstance(in)
+
+	exhaustive, err := Optimize(pd.Q, Options{Deps: pd.AllDeps(), Stats: stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Optimize(pd.Q, Options{Deps: pd.AllDeps(), Stats: stats, CostBounded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.States > exhaustive.States {
+		t.Errorf("cost-bounded explored %d states, exhaustive %d", bounded.States, exhaustive.States)
+	}
+	if exhaustive.Pruned != 0 {
+		t.Errorf("exhaustive run reports %d pruned states", exhaustive.Pruned)
+	}
+	if bounded.Best == nil || exhaustive.Best == nil {
+		t.Fatal("missing best plan")
+	}
+	if bounded.Best.Cost != exhaustive.Best.Cost {
+		t.Errorf("cost-bounded best %.3f != exhaustive best %.3f",
+			bounded.Best.Cost, exhaustive.Best.Cost)
+	}
+}
+
+// TestCostBoundedNoopWithoutStats: CostBounded without Stats keeps the
+// fully deterministic exhaustive search.
+func TestCostBoundedNoopWithoutStats(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Optimize(pd.Q, Options{Deps: pd.AllDeps()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Optimize(pd.Q, Options{Deps: pd.AllDeps(), CostBounded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.States != plain.States || bounded.Pruned != 0 {
+		t.Errorf("CostBounded without Stats changed the search: states %d vs %d, pruned %d",
+			bounded.States, plain.States, bounded.Pruned)
+	}
+}
+
+// TestOptimizePlanCacheReuse: a shared PlanCache makes the second
+// Optimize call on an equivalent query skip the backchase phase.
+func TestOptimizePlanCacheReuse(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := backchase.NewPlanCache()
+	opts := Options{Deps: pd.AllDeps(), Backchase: backchase.Options{Cache: cache}}
+
+	first, err := Optimize(pd.Q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BackchaseCached {
+		t.Error("first optimization must not be cached")
+	}
+	// An alpha-renamed query is equivalent and chases to a universal plan
+	// with the same canonical signature.
+	renamed := pd.Q.RenameVars(func(s string) string { return "q2_" + s })
+	second, err := Optimize(renamed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.BackchaseCached {
+		t.Error("second optimization must reuse the cached backchase")
+	}
+	if second.Best == nil || first.Best == nil || second.Best.Cost != first.Best.Cost {
+		t.Error("cached optimization chose a different best plan cost")
+	}
+	if hits, _ := cache.Counters(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"cnb/internal/chase"
 	"cnb/internal/core"
 	"cnb/internal/cost"
+	"cnb/internal/planrewrite"
 )
 
 // Options configures an optimization run.
@@ -33,7 +34,19 @@ type Options struct {
 	PhysicalNames map[string]bool
 	// Stats drives cost estimation; when nil, uniform defaults are used.
 	Stats *cost.Stats
-	// Chase and Backchase tune the two phases.
+	// CostBounded switches the backchase phase to cost-bounded best-first
+	// search driven by Stats: lattice states whose admissible cost lower
+	// bound exceeds the cheapest complete plan found so far are pruned
+	// without being chased. The cheapest plan keeps the same estimated
+	// cost as exhaustive search, but Result.Minimal/Explored become
+	// subsets of the exhaustive sets (cost-bounded search trades complete
+	// enumeration for speed). No-op when Stats is nil. Opt-in so that the
+	// default pipeline keeps the fully deterministic exhaustive order.
+	CostBounded bool
+	// Chase and Backchase tune the two phases. Backchase.Stats,
+	// Backchase.TopK, Backchase.CostBudget and Backchase.Cache pass
+	// through to the engine; CostBounded fills Backchase.Stats from Stats
+	// when it is unset.
 	Chase     chase.Options
 	Backchase backchase.Options
 	// Parallelism is the worker count for the backchase phase
@@ -63,11 +76,20 @@ type Result struct {
 	// Candidates are the cost-ranked executable plans after lookup
 	// simplification and binding reorder, cheapest first.
 	Candidates []cost.RankedPlan
-	// Best is the cheapest candidate (nil only if Minimal is empty, which
-	// cannot happen for well-formed inputs).
+	// Best is the cheapest candidate. It is nil only when the candidate
+	// pool is empty, which cannot happen for well-formed inputs UNLESS
+	// Backchase.CostBudget pruned every state (a budget below the
+	// cheapest plan's cost empties Minimal and Explored) — callers using
+	// CostBudget must nil-check.
 	Best *cost.RankedPlan
 	// States is the number of subqueries the backchase explored.
 	States int
+	// Pruned is the number of backchase states skipped by cost-bound
+	// pruning (0 unless Options.CostBounded or Backchase.Stats is set).
+	Pruned int
+	// BackchaseCached reports that the backchase phase was served from
+	// Options.Backchase.Cache instead of being re-run.
+	BackchaseCached bool
 	// Fallback reports that the physical-only restriction was lifted
 	// because no minimal plan satisfied it.
 	Fallback bool
@@ -112,11 +134,16 @@ func OptimizeContext(ctx context.Context, q *core.Query, opts Options) (*Result,
 	if bopts.Parallelism == 0 {
 		bopts.Parallelism = opts.Parallelism
 	}
+	if opts.CostBounded && bopts.Stats == nil {
+		bopts.Stats = opts.Stats
+	}
 	enum, err := backchase.EnumerateContext(ctx, chased.Query, opts.Deps, bopts)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: backchase: %w", err)
 	}
 	res.States = enum.States
+	res.Pruned = enum.Pruned
+	res.BackchaseCached = enum.FromCache
 	res.Minimal = enum.Plans
 	res.Explored = enum.Explored
 
@@ -175,179 +202,9 @@ func OptimizeContext(ctx context.Context, q *core.Query, opts Options) (*Result,
 }
 
 // SimplifyLookups rewrites guarded dictionary-domain loops into
-// non-failing lookups — the final transformation of the paper's §4
-// example: a binding pair
-//
-//	dom(M) k, M[k] x   with   k = t   (t not mentioning k)
-//
-// becomes the single binding  M{t} x, replacing k by t everywhere. The
-// guard condition is consumed by the non-failing lookup: when t ∉ dom(M)
-// the loop is empty in both forms. Other occurrences of M[k] become M[t],
-// which can only be evaluated when M{t} is non-empty, i.e. when the
-// failing lookup is defined.
+// non-failing lookups; it lives in internal/planrewrite so the
+// cost-bounded backchase can apply the same rewrite before costing a
+// candidate. Kept here as an alias for the optimizer's public surface.
 func SimplifyLookups(q *core.Query) *core.Query {
-	cur := q.Clone()
-	for changed := true; changed; {
-		changed = false
-		for i, b := range cur.Bindings {
-			if b.Range.Kind != core.KDom {
-				continue
-			}
-			k := b.Var
-			dict := b.Range.Base
-			if !dependentsAreDirectLookups(cur, i, k, dict) {
-				continue
-			}
-			// Try every key candidate: the first may be circular (e.g.
-			// k = t1.A where t1 is the dependent lookup itself).
-			var next *core.Query
-			for _, cand := range keyEqualities(cur, k) {
-				next = applyLookupSimplification(cur, i, cand.condIdx, k, dict, cand.t)
-				if next != nil {
-					break
-				}
-			}
-			if next != nil {
-				cur = next
-				changed = true
-				break
-			}
-		}
-	}
-	return cur
-}
-
-// keyCandidate is a term the conditions force equal to the key variable,
-// plus the index of the condition consumed by the rewrite (-1 when the
-// equality was extracted from a struct condition that must be kept).
-type keyCandidate struct {
-	t       *core.Term
-	condIdx int
-}
-
-// keyEqualities finds every term t, free of k, that the conditions force
-// equal to k. Direct equalities k = t consume their condition; struct
-// equalities other = struct(..., F: k, ...) yield other.F via constructor
-// injectivity and keep the condition (its remaining fields may carry
-// information).
-func keyEqualities(q *core.Query, k string) []keyCandidate {
-	kv := core.V(k)
-	var out []keyCandidate
-	for i, c := range q.Conds {
-		if c.L.Equal(kv) && !c.R.MentionsVar(k) {
-			out = append(out, keyCandidate{c.R, i})
-		}
-		if c.R.Equal(kv) && !c.L.MentionsVar(k) {
-			out = append(out, keyCandidate{c.L, i})
-		}
-	}
-	for _, c := range q.Conds {
-		for _, pair := range [][2]*core.Term{{c.L, c.R}, {c.R, c.L}} {
-			st, other := pair[0], pair[1]
-			if st.Kind != core.KStruct || other.MentionsVar(k) {
-				continue
-			}
-			for _, f := range st.Fields {
-				if f.Term.Equal(kv) {
-					out = append(out, keyCandidate{core.Prj(other, f.Name), -1})
-				}
-			}
-		}
-	}
-	return out
-}
-
-// dependentsAreDirectLookups checks that at least one later binding ranges
-// exactly over dict[k], and every binding range mentioning k is exactly
-// dict[k] (so the non-failing rewrite covers all of them).
-func dependentsAreDirectLookups(q *core.Query, domIdx int, k string, dict *core.Term) bool {
-	direct := core.Lk(dict, core.V(k))
-	found := false
-	for j, b := range q.Bindings {
-		if j == domIdx {
-			continue
-		}
-		if !b.Range.MentionsVar(k) {
-			continue
-		}
-		if !b.Range.Equal(direct) {
-			return false
-		}
-		found = true
-	}
-	return found
-}
-
-func applyLookupSimplification(q *core.Query, domIdx, condIdx int, k string, dict, t *core.Term) *core.Query {
-	direct := core.Lk(dict, core.V(k))
-	sub := map[string]*core.Term{k: t}
-	next := &core.Query{}
-	for j, b := range q.Bindings {
-		if j == domIdx {
-			continue
-		}
-		if b.Range.Equal(direct) {
-			next.Bindings = append(next.Bindings, core.Binding{
-				Var:   b.Var,
-				Range: core.LkNF(dict.Subst(sub), t),
-			})
-			continue
-		}
-		next.Bindings = append(next.Bindings, core.Binding{Var: b.Var, Range: b.Range.Subst(sub)})
-	}
-	for j, c := range q.Conds {
-		if j == condIdx {
-			continue
-		}
-		nc := core.Cond{L: c.L.Subst(sub), R: c.R.Subst(sub)}
-		if nc.L.Equal(nc.R) {
-			continue
-		}
-		next.Conds = append(next.Conds, nc)
-	}
-	next.Out = q.Out.Subst(sub)
-	// The replacement key may reference a variable bound later in the
-	// original order (e.g. the view row of ΦV); restore scoping.
-	if sorted, ok := topoSortBindings(next.Bindings); ok {
-		next.Bindings = sorted
-	}
-	if err := next.Validate(); err != nil {
-		return nil
-	}
-	return next
-}
-
-// topoSortBindings orders bindings so every range mentions only earlier
-// variables, keeping the given order among independent bindings.
-func topoSortBindings(bs []core.Binding) ([]core.Binding, bool) {
-	n := len(bs)
-	used := make([]bool, n)
-	introduced := map[string]bool{}
-	out := make([]core.Binding, 0, n)
-	for len(out) < n {
-		progress := false
-		for i, b := range bs {
-			if used[i] {
-				continue
-			}
-			ready := true
-			for v := range b.Range.Vars() {
-				if !introduced[v] {
-					ready = false
-					break
-				}
-			}
-			if !ready {
-				continue
-			}
-			used[i] = true
-			introduced[b.Var] = true
-			out = append(out, b)
-			progress = true
-		}
-		if !progress {
-			return nil, false
-		}
-	}
-	return out, true
+	return planrewrite.SimplifyLookups(q)
 }

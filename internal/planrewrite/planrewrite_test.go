@@ -1,0 +1,64 @@
+package planrewrite
+
+import (
+	"testing"
+
+	"cnb/internal/core"
+)
+
+// TestSimplifyGuardedDomLoop: the §4 shape — dom(M) k, M[k] x with k = t
+// — collapses to the single non-failing lookup M{t} x.
+func TestSimplifyGuardedDomLoop(t *testing.T) {
+	q := &core.Query{
+		Out: core.Prj(core.V("x"), "Budg"),
+		Bindings: []core.Binding{
+			{Var: "k", Range: core.Dom(core.Name("SI"))},
+			{Var: "x", Range: core.Lk(core.Name("SI"), core.V("k"))},
+		},
+		Conds: []core.Cond{{L: core.V("k"), R: core.C("CitiBank")}},
+	}
+	s := SimplifyLookups(q)
+	if len(s.Bindings) != 1 {
+		t.Fatalf("bindings = %d, want 1:\n%s", len(s.Bindings), s)
+	}
+	r := s.Bindings[0].Range
+	if r.Kind != core.KLookup || !r.NonFailing {
+		t.Errorf("range = %s, want non-failing lookup", r)
+	}
+	if len(s.Conds) != 0 {
+		t.Errorf("guard condition not consumed:\n%s", s)
+	}
+}
+
+// TestSimplifyLeavesUnguardedLoops: a dom loop without a key equality is
+// a genuine scan and must be preserved.
+func TestSimplifyLeavesUnguardedLoops(t *testing.T) {
+	q := &core.Query{
+		Out: core.V("k"),
+		Bindings: []core.Binding{
+			{Var: "k", Range: core.Dom(core.Name("SI"))},
+			{Var: "x", Range: core.Lk(core.Name("SI"), core.V("k"))},
+		},
+	}
+	s := SimplifyLookups(q)
+	if len(s.Bindings) != 2 {
+		t.Errorf("unguarded dom loop was rewritten:\n%s", s)
+	}
+}
+
+// TestSimplifyRefusesIndirectKeyUse: when the key variable is used in a
+// range other than the direct lookup, the rewrite does not apply.
+func TestSimplifyRefusesIndirectKeyUse(t *testing.T) {
+	q := &core.Query{
+		Out: core.Prj(core.V("x"), "A"),
+		Bindings: []core.Binding{
+			{Var: "k", Range: core.Dom(core.Name("M"))},
+			{Var: "x", Range: core.Lk(core.Name("M"), core.Prj(core.V("k"), "F"))},
+		},
+		Conds: []core.Cond{{L: core.V("k"), R: core.C("c")}},
+	}
+	s := SimplifyLookups(q)
+	if len(s.Bindings) != 2 {
+		t.Errorf("indirect key use was rewritten:\n%s", s)
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"testing"
+
+	"cnb/internal/eval"
+)
+
+func e13StarConfig() StarConfig {
+	return StarConfig{
+		Dims:          2,
+		Views:         1,
+		FactIndexes:   1,
+		DimIndex:      true,
+		Select:        true,
+		SelectA:       3,
+		FKConstraints: true,
+	}
+}
+
+func TestStarCatalog(t *testing.T) {
+	s, err := NewStar(e13StarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"Fact", "D0", "D1"} {
+		if !s.Logical.Has(n) {
+			t.Errorf("logical schema missing %s", n)
+		}
+	}
+	for _, n := range []string{"Fact", "D0", "D1", "FK0", "SD0", "V0"} {
+		if !s.Physical.Has(n) {
+			t.Errorf("physical schema missing %s", n)
+		}
+	}
+	for _, d := range s.Deps {
+		if err := s.Combined.CheckDependency(d); err != nil {
+			t.Errorf("dependency %s does not type-check: %v", d.Name, err)
+		}
+	}
+	// One view (2 deps), two secondary indexes (3 deps each), two FK
+	// inclusion constraints.
+	if len(s.Deps) != 2+3+3+2 {
+		t.Errorf("deps = %d, want 10", len(s.Deps))
+	}
+}
+
+func TestStarGenerateSatisfiesConstraints(t *testing.T) {
+	for _, snowflake := range []bool{false, true} {
+		cfg := e13StarConfig()
+		cfg.Snowflake = snowflake
+		s, err := NewStar(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := s.Generate(StarGenOptions{NumFact: 40, NumDim: 10, NumSub: 4, DomA: 5, Seed: 7})
+		name, err := eval.SatisfiesAll(s.Deps, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name != "" {
+			t.Errorf("snowflake=%v: generated instance violates %s", snowflake, name)
+		}
+	}
+}
+
+func TestStarQueryHasResults(t *testing.T) {
+	s, err := NewStar(e13StarConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DomA=5 guarantees dimension rows with A = 3 exist, so the selective
+	// query has matches.
+	in := s.Generate(StarGenOptions{NumFact: 60, NumDim: 10, NumSub: 4, DomA: 5, Seed: 3})
+	rows, err := eval.QueryEager(s.Q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() == 0 {
+		t.Error("star query returned no rows on generated data")
+	}
+}
+
+func TestStarSnowflakeProjectAll(t *testing.T) {
+	cfg := e13StarConfig()
+	cfg.Snowflake = true
+	cfg.ProjectAll = true
+	s, err := NewStar(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snowflake with full projection: outriggers are bound and projected.
+	vars := s.Q.BoundVars()
+	for _, v := range []string{"f", "d0", "d1", "s0", "s1"} {
+		if !vars[v] {
+			t.Errorf("snowflake query missing binding %s", v)
+		}
+	}
+	in := s.Generate(StarGenOptions{NumFact: 30, NumDim: 8, NumSub: 4, DomA: 4, Seed: 5})
+	rows, err := eval.QueryEager(s.Q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() == 0 {
+		t.Error("snowflake query returned no rows")
+	}
+}
+
+func TestStarRejectsZeroDims(t *testing.T) {
+	if _, err := NewStar(StarConfig{Dims: 0}); err == nil {
+		t.Error("NewStar accepted 0 dimensions")
+	}
+}
