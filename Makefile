@@ -14,13 +14,23 @@
 #   make bench      - the real benchmark sweep (longer).
 #   make bench-json - run the experiments and write $(BENCH_JSON), the
 #                     machine-readable perf trajectory CI archives.
+#   make bench-check - regenerate $(BENCH_JSON) at parallelism 1 and gate
+#                     it against the committed BENCH_BASELINE.json:
+#                     fails on >10% growth of any *_states metric or any
+#                     cheapest-cost change (see cmd/benchcheck). After an
+#                     intentional search change, regenerate the baseline
+#                     with make bench-baseline and commit it.
 #
 # Set GOFLAGS=-short to skip the slow paths: experiment tests skip
 # themselves and bench-smoke becomes a no-op.
 
 GO ?= go
 COVER_FLOOR ?= 70
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_BASELINE ?= BENCH_BASELINE.json
+# State counts of the cost-bounded search are deterministic only for a
+# serial run; the gate always measures at parallelism 1.
+BENCH_GATE_FLAGS = -parallelism 1
 
 # The packages whose tests exercise shared mutable state across
 # goroutines: the worker-pool backchase engine, the chase it drives
@@ -28,7 +38,7 @@ BENCH_JSON ?= BENCH_PR2.json
 # optimizer that parallelizes both.
 RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/... ./internal/optimizer/...
 
-.PHONY: ci vet build test race bench-smoke bench bench-json cover
+.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline cover
 
 ci: vet build test race bench-smoke
 
@@ -58,6 +68,13 @@ bench:
 
 bench-json:
 	$(GO) run ./cmd/chasebench -json-out $(BENCH_JSON)
+
+bench-check:
+	$(GO) run ./cmd/chasebench $(BENCH_GATE_FLAGS) -json-out $(BENCH_JSON)
+	$(GO) run ./cmd/benchcheck -baseline $(BENCH_BASELINE) -current $(BENCH_JSON)
+
+bench-baseline:
+	$(GO) run ./cmd/chasebench $(BENCH_GATE_FLAGS) -json-out $(BENCH_BASELINE)
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

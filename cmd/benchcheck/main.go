@@ -1,0 +1,143 @@
+// Command benchcheck is the CI bench-regression gate: it compares a
+// fresh chasebench JSON report against the committed baseline
+// (BENCH_BASELINE.json) and fails when the search regresses.
+//
+// Rules, per experiment present in the baseline:
+//
+//   - every metric whose name ends in "_states" (except pruned counters,
+//     which grow when the bound improves) may grow by at most
+//     -state-tolerance (default 10%) — more lattice states explored for
+//     the same workload is a search regression;
+//   - every metric whose name starts with "cheapest_cost" must not
+//     change beyond float noise (relative 1e-6) — the admissible bound
+//     guarantees the cheapest plan cost is schedule- and
+//     pruning-independent, so any drift means a soundness or cost-model
+//     change that must be reviewed (and the baseline regenerated
+//     deliberately);
+//   - experiments and gated metrics present in the baseline must still
+//     exist in the current report.
+//
+// Wall-clock metrics (*_ms) and correlation metrics are informational
+// and never gated: they depend on the machine. Run both reports with
+// -parallelism 1 so state counts are deterministic.
+//
+// Usage:
+//
+//	benchcheck -baseline BENCH_BASELINE.json -current BENCH_PR3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// experimentRecord mirrors the chasebench JSON schema (only the fields
+// the gate reads).
+type experimentRecord struct {
+	ID     string             `json:"id"`
+	Metric map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Experiments []experimentRecord `json:"experiments"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func (r *report) byID() map[string]map[string]float64 {
+	out := map[string]map[string]float64{}
+	for _, e := range r.Experiments {
+		out[e.ID] = e.Metric
+	}
+	return out
+}
+
+const costTolerance = 1e-6 // relative; covers float summation noise only
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline report")
+		currentPath  = flag.String("current", "BENCH_PR3.json", "freshly generated report")
+		stateTol     = flag.Float64("state-tolerance", 0.10, "allowed relative growth of *_states metrics")
+	)
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur := current.byID()
+
+	var failures []string
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	checked := 0
+	for _, exp := range baseline.Experiments {
+		curMetrics, ok := cur[exp.ID]
+		if !ok {
+			fail("%s: experiment missing from current report", exp.ID)
+			continue
+		}
+		for name, base := range exp.Metric {
+			// Pruned counters grow when the bound improves; they are not
+			// exploration work and are never gated.
+			gatedStates := strings.HasSuffix(name, "_states") && !strings.Contains(name, "pruned")
+			gatedCost := strings.HasPrefix(name, "cheapest_cost")
+			if !gatedStates && !gatedCost {
+				continue
+			}
+			now, ok := curMetrics[name]
+			if !ok {
+				fail("%s/%s: gated metric missing from current report", exp.ID, name)
+				continue
+			}
+			checked++
+			switch {
+			case gatedStates:
+				if now > base*(1+*stateTol) {
+					fail("%s/%s: %g states vs baseline %g (> %.0f%% regression)",
+						exp.ID, name, now, base, *stateTol*100)
+				} else {
+					fmt.Printf("ok %s/%s: %g vs baseline %g\n", exp.ID, name, now, base)
+				}
+			case gatedCost:
+				if diff := now - base; diff > base*costTolerance || -diff > base*costTolerance {
+					fail("%s/%s: cheapest cost %g vs baseline %g — any change must be reviewed",
+						exp.ID, name, now, base)
+				} else {
+					fmt.Printf("ok %s/%s: %g vs baseline %g\n", exp.ID, name, now, base)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		fail("no gated metrics found in %s — baseline corrupt?", *baselinePath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d gated metrics within tolerance\n", checked)
+}

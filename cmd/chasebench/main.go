@@ -1,4 +1,4 @@
-// Command chasebench runs the reproduction experiments (E1–E13 of
+// Command chasebench runs the reproduction experiments (E1–E14 of
 // EXPERIMENTS.md) and prints their tables.
 //
 // Usage:
@@ -6,7 +6,7 @@
 //	chasebench            # run everything
 //	chasebench -exp E1    # run one experiment
 //	chasebench -list      # list experiments
-//	chasebench -json      # also write BENCH_PR2.json (perf trajectory)
+//	chasebench -json      # also write BENCH_PR3.json (perf trajectory)
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 
 // defaultJSONPath is where -json writes the machine-readable results;
 // CI archives this file as the perf trajectory artifact.
-const defaultJSONPath = "BENCH_PR2.json"
+const defaultJSONPath = "BENCH_PR3.json"
 
 // record is the machine-readable result of one experiment.
 type record struct {

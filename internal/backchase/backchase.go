@@ -62,6 +62,14 @@ type Options struct {
 	// result and can vary across schedules. Nil (the default) keeps the
 	// exhaustive, fully deterministic order.
 	Stats *cost.Stats
+	// ScanOnlyBound reverts pruning to the PR-2 scan-only floor
+	// (cost.Stats.ScanFloor) instead of the dictionary-aware
+	// cost.Stats.LowerBound. Both bounds are admissible, so the cheapest
+	// plan is identical either way; the scan-only bound explores more
+	// states. Kept for A/B measurement (E14, BenchmarkBackchasePrunedTight)
+	// — production callers should leave it false. Only meaningful with
+	// Stats.
+	ScanOnlyBound bool
 	// TopK keeps only the K cheapest plans in the Result (0 = keep all).
 	// Only meaningful with Stats; it does not cut the search short — the
 	// cheapest-plan guarantee is unaffected.

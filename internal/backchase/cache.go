@@ -131,6 +131,9 @@ func (o Options) fingerprint() string {
 	if o.Stats != nil {
 		b.WriteString("\x00stats\x00")
 		writeInts(&b, o.Parallelism)
+		if o.ScanOnlyBound {
+			b.WriteString("scanbound;")
+		}
 		b.WriteString(o.Stats.Fingerprint())
 	}
 	return b.String()

@@ -49,6 +49,7 @@ type stateItem struct {
 	removed map[string]bool // removed binding variables of the root
 	q       *core.Query     // Subquery(root, removed)
 	prio    float64         // estimated cost (best-first mode only)
+	lb      float64         // admissible lower bound, fixed per state (best-first mode only)
 }
 
 // workQueue is an unbounded work pool with done-tracking: pending counts
@@ -194,6 +195,7 @@ type shard struct {
 	seen map[string]bool
 	eq   map[string]*eqEntry
 	sub  map[string]*subEntry
+	lb   map[string]float64
 }
 
 // planEntry is a registered normal form with its estimated cost (NaN when
@@ -260,6 +262,7 @@ func newEngine(ctx context.Context, q *core.Query, deps []*core.Dependency, opts
 		e.shards[i].seen = map[string]bool{}
 		e.shards[i].eq = map[string]*eqEntry{}
 		e.shards[i].sub = map[string]*subEntry{}
+		e.shards[i].lb = map[string]float64{}
 	}
 	return e, nil
 }
@@ -273,6 +276,44 @@ func newEngine(ctx context.Context, q *core.Query, deps []*core.Dependency, opts
 // this one metric so they are mutually comparable.
 func (e *engine) costPlan(q *core.Query) float64 {
 	return e.opts.Stats.EstimateQuick(planrewrite.SimplifyLookups(q))
+}
+
+// lowerBound is the admissible floor used by push/pop pruning: the
+// dictionary-aware cost.Stats.LowerBound by default, or the PR-2
+// scan-only cost.Stats.ScanFloor when Options.ScanOnlyBound asks for the
+// A/B comparison. The admissibility argument lives on LowerBound: min
+// fanouts and groundability survive every rewrite the backchase performs,
+// because rewrites only re-route access paths along equalities the state
+// already implies — they never shrink the answer or invent equalities.
+func (e *engine) lowerBound(q *core.Query) float64 {
+	if e.opts.ScanOnlyBound {
+		return e.opts.Stats.ScanFloor(q)
+	}
+	return e.opts.Stats.LowerBound(q)
+}
+
+// cachedLowerBound memoizes lowerBound per canonical state key: the
+// dictionary-aware bound builds a congruence closure per call, and every
+// parent of an already-generated candidate would otherwise recompute it
+// on the search hot path (the bound is a pure function of the state, so
+// the first stored value wins).
+func (e *engine) cachedLowerBound(key string, q *core.Query) float64 {
+	sh := e.shard(key)
+	sh.mu.Lock()
+	if v, ok := sh.lb[key]; ok {
+		sh.mu.Unlock()
+		return v
+	}
+	sh.mu.Unlock()
+	v := e.lowerBound(q)
+	sh.mu.Lock()
+	if prev, ok := sh.lb[key]; ok {
+		v = prev
+	} else {
+		sh.lb[key] = v
+	}
+	sh.mu.Unlock()
+	return v
 }
 
 // boundValue reads the current pruning bound.
@@ -570,10 +611,12 @@ func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v strin
 //
 // In cost-bounded mode the state is first re-checked against the pruning
 // bound (it may have shrunk since the state was enqueued): every plan
-// reachable below it costs at least Stats.LowerBound(it.q) — removals
-// only shrink the binding set, see the admissibility argument on
-// LowerBound — so when that exceeds the cheapest complete plan already
-// known the whole subtree is skipped without a single chase. Candidate
+// reachable below it costs at least it.lb, the admissible floor computed
+// once when the state was claimed (removals only shrink the binding set
+// and monotonically shrink the congruence the floor is derived from — see
+// the admissibility argument on cost.Stats.LowerBound) — so when that
+// exceeds the cheapest complete plan already known the whole subtree is
+// skipped without a single chase. Candidate
 // successors get the same treatment before their equivalence check: a
 // candidate whose lower bound beats the bound is claimed, counted as
 // pruned and never chased. The bound itself shrinks from two sources:
@@ -590,7 +633,7 @@ func (e *engine) tryRemove(ctx context.Context, removed map[string]bool, v strin
 // unaffected).
 func (e *engine) process(ctx context.Context, w *worker, it stateItem) error {
 	costed := e.opts.Stats != nil
-	if costed && e.opts.Stats.LowerBound(it.q) > e.boundValue() {
+	if costed && it.lb > e.boundValue() {
 		e.pruned.Add(1)
 		return nil
 	}
@@ -611,14 +654,18 @@ func (e *engine) process(ctx context.Context, w *worker, it stateItem) error {
 		if sub == nil {
 			continue
 		}
-		if costed && e.opts.Stats.LowerBound(sub) > e.boundValue() {
-			// Too expensive to ever matter: mark it visited so no other
-			// parent re-considers it, skip the chase-based equivalence
-			// check, and leave the MaxStates budget untouched.
-			if e.markPruned(fullKey) {
-				e.pruned.Add(1)
+		var subLB float64
+		if costed {
+			subLB = e.cachedLowerBound(fullKey, sub)
+			if subLB > e.boundValue() {
+				// Too expensive to ever matter: mark it visited so no other
+				// parent re-considers it, skip the chase-based equivalence
+				// check, and leave the MaxStates budget untouched.
+				if e.markPruned(fullKey) {
+					e.pruned.Add(1)
+				}
+				continue
 			}
-			continue
 		}
 		eq, err := e.equivalence(ctx, fullKey, sub)
 		if err != nil {
@@ -629,7 +676,7 @@ func (e *engine) process(ctx context.Context, w *worker, it stateItem) error {
 		}
 		normal = false
 		if e.claim(fullKey) {
-			next := stateItem{key: fullKey, removed: full, q: sub}
+			next := stateItem{key: fullKey, removed: full, q: sub, lb: subLB}
 			if costed {
 				next.prio = e.costPlan(sub)
 				e.noteCandidate(next.prio)
@@ -674,6 +721,7 @@ func (e *engine) enumerate(ctx context.Context, parallelism int) (*Result, error
 		// The root (the universal plan) is itself a complete equivalent
 		// plan; its cost seeds the pruning bound.
 		rootItem.prio = e.costPlan(e.root)
+		rootItem.lb = e.lowerBound(e.root)
 		e.noteCandidate(rootItem.prio)
 	}
 	e.claim(rootItem.key)

@@ -81,6 +81,46 @@ func TestE13PrunesWithIdenticalCost(t *testing.T) {
 	}
 }
 
+// TestE14TightBoundAndCalibration pins the headline claims of the
+// dictionary-aware bound: on every star/snowflake workload it explores
+// strictly fewer states than PR 2's scan-only bound (which in turn beats
+// exhaustive) at identical cheapest estimated cost, the pruned search
+// driven by the execution instance's statistics keeps the
+// measured-cheapest plan, and estimated cost ordering correlates
+// positively with measured cost.
+func TestE14TightBoundAndCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 runs full lattice enumerations and plan executions")
+	}
+	tb, err := E14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[1] == "dictionary-aware" && row[len(row)-1] != "true" {
+			t.Errorf("workload %q: tight bound did not agree: %v", row[0], row)
+		}
+	}
+	if tb.Metrics["tight_states"] >= tb.Metrics["scanfloor_states"] {
+		t.Errorf("tight bound explored %v states, scan-only %v — expected strictly fewer",
+			tb.Metrics["tight_states"], tb.Metrics["scanfloor_states"])
+	}
+	if tb.Metrics["scanfloor_states"] >= tb.Metrics["exhaustive_states"] {
+		t.Errorf("scan-only bound explored %v states, exhaustive %v — expected strictly fewer",
+			tb.Metrics["scanfloor_states"], tb.Metrics["exhaustive_states"])
+	}
+	if tb.Metrics["est_cost_agree"] != 1 {
+		t.Error("cheapest estimated cost differed across bounds")
+	}
+	if tb.Metrics["measured_cheapest_kept"] != 1 {
+		t.Error("a measured-cheapest plan was pruned on a star/snowflake workload")
+	}
+	if tb.Metrics["spearman_min"] <= 0 {
+		t.Errorf("spearman_min = %v, want > 0 (estimates must correlate with measurement)",
+			tb.Metrics["spearman_min"])
+	}
+}
+
 func TestE3AlwaysMinimizesToTwo(t *testing.T) {
 	tb, err := E3()
 	if err != nil {

@@ -35,9 +35,31 @@ func TestLowerBoundScanFloors(t *testing.T) {
 	}
 }
 
-// TestLowerBoundLookupIsZero: a lookup binding can be substituted into
-// an arbitrarily cheap form downstream, so it contributes no floor.
-func TestLowerBoundLookupIsZero(t *testing.T) {
+// TestScanFloorLookupIsZero pins the PR-2 bound kept for A/B comparison:
+// under ScanFloor a lookup binding floors at 0, dragging the whole state
+// to 0 — exactly the weakness LowerBound fixes.
+func TestScanFloorLookupIsZero(t *testing.T) {
+	s := boundStats()
+	q := &core.Query{
+		Out: core.V("x"),
+		Bindings: []core.Binding{
+			{Var: "x", Range: core.Lk(core.Name("SI"), core.C("c"))},
+		},
+	}
+	if lb := s.ScanFloor(q); lb != 0 {
+		t.Errorf("ScanFloor with a lookup binding = %v, want 0", lb)
+	}
+	q.Bindings = append(q.Bindings, core.Binding{Var: "f", Range: core.Name("Fact")})
+	if lb := s.ScanFloor(q); lb != 0 {
+		t.Errorf("ScanFloor = %v, want 0 (lookup floors at 0)", lb)
+	}
+}
+
+// TestLowerBoundUngroundedLookupExcluded: a lookup whose key is bound by
+// another binding and never equated to a constant cannot be the first
+// binding of any reachable plan, so it no longer drags the floor to 0 —
+// the state floors at its cheapest groundable access (dom(SI) here).
+func TestLowerBoundUngroundedLookupExcluded(t *testing.T) {
 	s := boundStats()
 	q := &core.Query{
 		Out: core.V("x"),
@@ -47,8 +69,108 @@ func TestLowerBoundLookupIsZero(t *testing.T) {
 			{Var: "x", Range: core.Lk(core.Name("SI"), core.V("k"))},
 		},
 	}
-	if lb := s.LowerBound(q); lb != 0 {
-		t.Errorf("LowerBound with a lookup binding = %v, want 0", lb)
+	if lb := s.LowerBound(q); lb != 100 {
+		t.Errorf("LowerBound = %v, want 100 (cheapest groundable access)", lb)
+	}
+}
+
+// TestLowerBoundGroundedLookupProbeFloor: once the key is equated to a
+// constant the lookup is groundable and floors at the probe cost plus the
+// dictionary's minimum entry fanout — small, but no longer 0.
+func TestLowerBoundGroundedLookupProbeFloor(t *testing.T) {
+	s := boundStats()
+	s.EntryFanoutMin["SI"] = 3
+	q := &core.Query{
+		Out: core.V("x"),
+		Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "k", Range: core.Dom(core.Name("SI"))},
+			{Var: "x", Range: core.Lk(core.Name("SI"), core.V("k"))},
+		},
+		Conds: []core.Cond{{L: core.V("k"), R: core.C("CitiBank")}},
+	}
+	want := s.LookupCost + 3
+	if lb := s.LowerBound(q); lb != want {
+		t.Errorf("LowerBound = %v, want %v (probe + min fanout)", lb, want)
+	}
+	// A state whose only groundable accesses are scans floors at the scan,
+	// strictly above the ScanFloor bound of the same state.
+	if sf := s.ScanFloor(q); sf != 0 {
+		t.Errorf("ScanFloor = %v, want 0", sf)
+	}
+}
+
+// TestLowerBoundUnknownDictionaryFloor: a lookup into a dictionary with
+// no statistics entry at all falls back to the documented conservative
+// LookupFloor (>= one probe), not 0 — the PR-3 regression fix for the
+// zero-floor fallback.
+func TestLowerBoundUnknownDictionaryFloor(t *testing.T) {
+	s := NewStats() // nothing known
+	q := &core.Query{
+		Out: core.V("x"),
+		Bindings: []core.Binding{
+			{Var: "x", Range: core.Lk(core.Name("Mystery"), core.C("k"))},
+		},
+	}
+	if lb := s.LowerBound(q); lb != 1 {
+		t.Errorf("LowerBound over unknown dictionary = %v, want 1 (LookupFloor)", lb)
+	}
+	// The floor is clamped so it can never exceed the estimator's own
+	// charge for an unknown dictionary (LookupCost + default fanout 1).
+	s.LookupFloor = 50
+	if lb := s.LowerBound(q); lb != s.LookupCost+1 {
+		t.Errorf("clamped LowerBound = %v, want %v", lb, s.LookupCost+1)
+	}
+	if quick := s.EstimateQuick(q); quick < s.LowerBound(q) {
+		t.Errorf("EstimateQuick %v below LowerBound %v", quick, s.LowerBound(q))
+	}
+}
+
+// TestLowerBoundNeverBelowScanFloor: the dictionary-aware bound dominates
+// the PR-2 bound on a spread of shapes (both are admissible; LowerBound
+// is the tighter of the two by construction).
+func TestLowerBoundNeverBelowScanFloor(t *testing.T) {
+	s := boundStats()
+	s.EntryFanoutMin["SI"] = 2
+	queries := []*core.Query{
+		{Out: core.V("f"), Bindings: []core.Binding{{Var: "f", Range: core.Name("Fact")}}},
+		{Out: core.V("x"), Bindings: []core.Binding{
+			{Var: "x", Range: core.LkNF(core.Name("SI"), core.C("c"))},
+		}},
+		{Out: core.V("x"), Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "x", Range: core.Lk(core.Name("SI"), core.Prj(core.V("f"), "K"))},
+		}},
+	}
+	for i, q := range queries {
+		if lb, sf := s.LowerBound(q), s.ScanFloor(q); lb < sf {
+			t.Errorf("query %d: LowerBound %v below ScanFloor %v", i, lb, sf)
+		}
+	}
+}
+
+// TestLowerBoundGroundsThroughConditionChains: groundability must follow
+// equality chains (k = f.K, f = I[c]) and congruence lifting, not only
+// direct constant equalities.
+func TestLowerBoundGroundsThroughConditionChains(t *testing.T) {
+	s := boundStats()
+	s.Card["M"] = 50
+	s.EntryFanoutMin["M"] = 1
+	q := &core.Query{
+		Out: core.V("x"),
+		Bindings: []core.Binding{
+			{Var: "f", Range: core.Name("Fact")},
+			{Var: "x", Range: core.Lk(core.Name("M"), core.Prj(core.V("f"), "K"))},
+		},
+		Conds: []core.Cond{
+			// f is keyed by a ground lookup, so f.K — and with it the M
+			// lookup — is groundable.
+			{L: core.V("f"), R: core.Lk(core.Name("I"), core.C("k1"))},
+		},
+	}
+	want := s.LookupCost + 1
+	if lb := s.LowerBound(q); lb != want {
+		t.Errorf("LowerBound = %v, want %v (lookup groundable through the chain)", lb, want)
 	}
 }
 

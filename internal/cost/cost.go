@@ -30,9 +30,18 @@ type Stats struct {
 	// EntryFanout maps a dictionary name to the average size of its
 	// set-valued entries (1 for primary indexes and class dictionaries).
 	EntryFanout map[string]float64
+	// EntryFanoutMin maps a dictionary name to the smallest size of any of
+	// its entries. Unlike the average, the minimum survives every plan
+	// rewrite — no access path can make a bucket smaller than its smallest
+	// instance — so LowerBound may use it as a sound per-probe floor.
+	EntryFanoutMin map[string]float64
 	// FieldFanout maps "field name" to the average cardinality of
 	// set-valued record fields reached by projection (e.g. DProjs -> 5).
 	FieldFanout map[string]float64
+	// FieldFanoutMin maps "field name" to the smallest observed
+	// cardinality of that set-valued field, the dependent-range analogue
+	// of EntryFanoutMin.
+	FieldFanoutMin map[string]float64
 	// Distinct maps "name.field" to the number of distinct values of that
 	// field, used for equality selectivities.
 	Distinct map[string]float64
@@ -40,6 +49,13 @@ type Stats struct {
 	DefaultSelectivity float64
 	// LookupCost is the unit cost of one dictionary lookup.
 	LookupCost float64
+	// LookupFloor is the conservative per-probe floor LowerBound charges
+	// for a lookup into a dictionary with no statistics entry at all: even
+	// an unknown dictionary must be probed at least once, so the floor is
+	// not 0. It must stay at most LookupCost+1 (the estimator charges
+	// LookupCost plus a default fanout of 1 for unknown dictionaries) for
+	// the bound to remain admissible; the default is 1.
+	LookupFloor float64
 	// HashBuildNames lists transient structures (hash tables) whose
 	// construction must be charged once per plan that uses them: cost
 	// Card[name] * EntryFanout[name].
@@ -51,10 +67,13 @@ func NewStats() *Stats {
 	return &Stats{
 		Card:               map[string]float64{},
 		EntryFanout:        map[string]float64{},
+		EntryFanoutMin:     map[string]float64{},
 		FieldFanout:        map[string]float64{},
+		FieldFanoutMin:     map[string]float64{},
 		Distinct:           map[string]float64{},
 		DefaultSelectivity: 0.1,
 		LookupCost:         1,
+		LookupFloor:        1,
 		HashBuildNames:     map[string]bool{},
 	}
 }
@@ -66,6 +85,14 @@ func FromInstance(in *instance.Instance) *Stats {
 	s := NewStats()
 	fieldTotals := map[string]float64{}
 	fieldCounts := map[string]float64{}
+	fieldMins := map[string]float64{}
+	noteField := func(f string, n float64) {
+		fieldTotals[f] += n
+		fieldCounts[f]++
+		if min, ok := fieldMins[f]; !ok || n < min {
+			fieldMins[f] = n
+		}
+	}
 	for _, name := range in.Names() {
 		v, _ := in.Lookup(name)
 		switch t := v.(type) {
@@ -80,8 +107,7 @@ func FromInstance(in *instance.Instance) *Stats {
 				for _, f := range st.Names() {
 					fv, _ := st.Field(f)
 					if set, isSet := fv.(*instance.Set); isSet {
-						fieldTotals[f] += float64(set.Len())
-						fieldCounts[f]++
+						noteField(f, float64(set.Len()))
 						continue
 					}
 					if distinct[f] == nil {
@@ -96,10 +122,15 @@ func FromInstance(in *instance.Instance) *Stats {
 		case *instance.Dict:
 			s.Card[name] = float64(t.Len())
 			total, cnt := 0.0, 0.0
+			min := math.Inf(1)
 			for _, e := range t.Entries() {
 				if set, ok := e[1].(*instance.Set); ok {
-					total += float64(set.Len())
+					n := float64(set.Len())
+					total += n
 					cnt++
+					if n < min {
+						min = n
+					}
 					continue
 				}
 				// Record entries: fanout 1; also collect set fields.
@@ -107,22 +138,26 @@ func FromInstance(in *instance.Instance) *Stats {
 					for _, f := range st.Names() {
 						fv, _ := st.Field(f)
 						if set, isSet := fv.(*instance.Set); isSet {
-							fieldTotals[f] += float64(set.Len())
-							fieldCounts[f]++
+							noteField(f, float64(set.Len()))
 						}
 					}
 				}
 				total++
 				cnt++
+				if 1 < min {
+					min = 1
+				}
 			}
 			if cnt > 0 {
 				s.EntryFanout[name] = total / cnt
+				s.EntryFanoutMin[name] = min
 			}
 		}
 	}
 	for f, total := range fieldTotals {
 		if fieldCounts[f] > 0 {
 			s.FieldFanout[f] = total / fieldCounts[f]
+			s.FieldFanoutMin[f] = fieldMins[f]
 		}
 	}
 	return s
@@ -462,52 +497,6 @@ func (s *Stats) EstimateQuick(q *core.Query) float64 {
 	return c
 }
 
-// LowerBound returns an admissible lower bound on the estimated cost of
-// every executable plan reachable from the given backchase state
-// (subquery) — including after non-failing-lookup simplification and
-// binding reorder.
-//
-// The argument: every term of Estimate is non-negative and the first
-// binding of any plan is charged at multiplicity 1, so
-//
-//	Estimate(plan, any order) >= scanCost(plan's first binding).
-//
-// The backchase only removes bindings and every later rewrite
-// (congruent range rewriting in Subquery, substitution and dom-loop
-// elimination in planrewrite.SimplifyLookups, condition pruning in
-// Normalize) maps each surviving binding of a descendant plan back to a
-// binding of this state. A binding whose range is a bare scan — a KName,
-// or dom(KName) — mentions no variables, so none of those rewrites can
-// touch it: it either survives verbatim (costing its full cardinality
-// wherever it lands) or is dropped. Any other range (lookups, dependent
-// projections) can be substituted into arbitrarily cheap forms, so it
-// contributes a floor of 0. Hence
-//
-//	min over bindings of scanFloor(range) <= Estimate of any
-//	reachable plan,
-//
-// and pruning a state whose LowerBound exceeds the cost of an already
-// known complete plan can never discard a strictly cheaper plan.
-func (s *Stats) LowerBound(q *core.Query) float64 {
-	lb := math.Inf(1)
-	for _, b := range q.Bindings {
-		f := 0.0
-		switch {
-		case b.Range.Kind == core.KName:
-			f = s.card(b.Range.Name)
-		case b.Range.Kind == core.KDom && b.Range.Base.Kind == core.KName:
-			f = s.card(b.Range.Base.Name)
-		}
-		if f < lb {
-			lb = f
-		}
-	}
-	if math.IsInf(lb, 1) {
-		return 0
-	}
-	return lb
-}
-
 // Fingerprint renders the statistics deterministically (sorted keys), so
 // they can participate in cache keys: two Stats with equal fingerprints
 // produce identical estimates.
@@ -527,14 +516,16 @@ func (s *Stats) Fingerprint() string {
 	}
 	writeMap("card:", s.Card)
 	writeMap("entry:", s.EntryFanout)
+	writeMap("entrymin:", s.EntryFanoutMin)
 	writeMap("field:", s.FieldFanout)
+	writeMap("fieldmin:", s.FieldFanoutMin)
 	writeMap("distinct:", s.Distinct)
 	hb := make([]string, 0, len(s.HashBuildNames))
 	for k := range s.HashBuildNames {
 		hb = append(hb, k)
 	}
 	sort.Strings(hb)
-	fmt.Fprintf(&b, "hash:%s\nsel=%g lookup=%g\n", strings.Join(hb, ";"), s.DefaultSelectivity, s.LookupCost)
+	fmt.Fprintf(&b, "hash:%s\nsel=%g lookup=%g floor=%g\n", strings.Join(hb, ";"), s.DefaultSelectivity, s.LookupCost, s.LookupFloor)
 	return b.String()
 }
 

@@ -25,6 +25,24 @@ type Operator interface {
 	Next() (eval.Env, error)
 	// Describe renders the operator subtree, for EXPLAIN-style output.
 	Describe(indent string) string
+	// Counters returns the work counters accumulated since the last Open.
+	Counters() Counters
+}
+
+// Counters is the work profile of one operator since its last Open:
+// Evals counts range/condition evaluations (for a lookup scan, one Eval
+// is one dictionary probe; for a relation scan, one pass over the
+// collection), Rows counts rows the operator emitted. The sum over a plan
+// tree is the measured-cost counterpart of cost.Stats.Estimate — the E14
+// calibration experiment correlates the two.
+type Counters struct {
+	Evals int64
+	Rows  int64
+}
+
+func (c *Counters) add(o Counters) {
+	c.Evals += o.Evals
+	c.Rows += o.Rows
 }
 
 // --- scan over a binding range ------------------------------------------
@@ -42,6 +60,7 @@ type bindScan struct {
 	elems []instance.Value
 	pos   int
 	done  bool
+	ctrs  Counters
 }
 
 func (b *bindScan) Open() error {
@@ -49,11 +68,14 @@ func (b *bindScan) Open() error {
 	b.elems = nil
 	b.pos = 0
 	b.done = false
+	b.ctrs = Counters{}
 	if b.child != nil {
 		return b.child.Open()
 	}
 	return nil
 }
+
+func (b *bindScan) Counters() Counters { return b.ctrs }
 
 func (b *bindScan) Next() (eval.Env, error) {
 	for {
@@ -74,6 +96,7 @@ func (b *bindScan) Next() (eval.Env, error) {
 				}
 				b.cur = row
 			}
+			b.ctrs.Evals++
 			val, err := eval.Term(b.rng, b.cur, b.in)
 			if err != nil {
 				return nil, err
@@ -89,6 +112,7 @@ func (b *bindScan) Next() (eval.Env, error) {
 			row := b.cur.Clone()
 			row[b.v] = b.elems[b.pos]
 			b.pos++
+			b.ctrs.Rows++
 			return row, nil
 		}
 		b.cur = nil
@@ -122,9 +146,15 @@ type filter struct {
 	in    *instance.Instance
 	child Operator
 	conds []core.Cond
+	ctrs  Counters
 }
 
-func (f *filter) Open() error { return f.child.Open() }
+func (f *filter) Open() error {
+	f.ctrs = Counters{}
+	return f.child.Open()
+}
+
+func (f *filter) Counters() Counters { return f.ctrs }
 
 func (f *filter) Next() (eval.Env, error) {
 	for {
@@ -132,6 +162,7 @@ func (f *filter) Next() (eval.Env, error) {
 		if err != nil || row == nil {
 			return nil, err
 		}
+		f.ctrs.Evals++
 		ok := true
 		for _, c := range f.conds {
 			l, err := eval.Term(c.L, row, f.in)
@@ -148,6 +179,7 @@ func (f *filter) Next() (eval.Env, error) {
 			}
 		}
 		if ok {
+			f.ctrs.Rows++
 			return row, nil
 		}
 	}
@@ -162,10 +194,12 @@ func (f *filter) Describe(indent string) string {
 
 // Plan is a compiled, executable query plan.
 type Plan struct {
-	root  Operator
-	out   *core.Term
-	in    *instance.Instance
-	query *core.Query
+	root    Operator
+	ops     []Operator // every operator of the tree, for Measure
+	out     *core.Term
+	in      *instance.Instance
+	query   *core.Query
+	outRows int64 // rows reaching the projection in the last Run (pre-dedup)
 }
 
 // Compile builds an operator tree for the plan's binding order: a chain of
@@ -195,27 +229,36 @@ func Compile(q *core.Query, in *instance.Instance) (*Plan, error) {
 		condAt[last+1] = append(condAt[last+1], c)
 	}
 	var root Operator
+	var ops []Operator
+	push := func(op Operator) {
+		root = op
+		ops = append(ops, op)
+	}
 	// Constant conditions (no variables) become a level-0 filter below.
 	for i, b := range q.Bindings {
-		root = &bindScan{in: in, child: root, v: b.Var, rng: b.Range}
+		push(&bindScan{in: in, child: root, v: b.Var, rng: b.Range})
 		if len(condAt[i+1]) > 0 {
-			root = &filter{in: in, child: root, conds: condAt[i+1]}
+			push(&filter{in: in, child: root, conds: condAt[i+1]})
 		}
 	}
 	if root == nil {
 		return nil, fmt.Errorf("engine: plan with no bindings")
 	}
 	if len(condAt[0]) > 0 {
-		root = &filter{in: in, child: root, conds: condAt[0]}
+		push(&filter{in: in, child: root, conds: condAt[0]})
 	}
-	return &Plan{root: root, out: q.Out, in: in, query: q}, nil
+	return &Plan{root: root, ops: ops, out: q.Out, in: in, query: q}, nil
 }
 
-// Run executes the plan and returns its result set.
+// Run executes the plan and returns its result set. Counters are reset by
+// the Open, so Measure reflects the latest Run only; re-running the same
+// Plan re-Opens every operator and produces the same (deduplicated)
+// result set.
 func (p *Plan) Run() (*instance.Set, error) {
 	if err := p.root.Open(); err != nil {
 		return nil, err
 	}
+	p.outRows = 0
 	out := instance.NewSet()
 	for {
 		row, err := p.root.Next()
@@ -229,8 +272,34 @@ func (p *Plan) Run() (*instance.Set, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.outRows++
 		out.Add(v)
 	}
+}
+
+// Measure is the work profile of the last Run: the summed operator
+// counters plus the number of rows that reached the projection (before
+// set deduplication). Cost is the scalar proxy the calibration harness
+// compares against cost.Stats estimates: every range evaluation (probe or
+// scan start) plus every row moved through the pipeline or projected.
+type Measure struct {
+	Counters
+	OutRows int64
+}
+
+// Cost collapses the profile into one machine-independent work number.
+func (m Measure) Cost() float64 {
+	return float64(m.Evals + m.Rows + m.OutRows)
+}
+
+// Measure returns the work profile accumulated by the last Run.
+func (p *Plan) Measure() Measure {
+	var m Measure
+	for _, op := range p.ops {
+		m.add(op.Counters())
+	}
+	m.OutRows = p.outRows
+	return m
 }
 
 // Explain renders the operator tree.

@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"testing"
+
+	"cnb/internal/core"
+	"cnb/internal/instance"
+)
+
+// chainInstance builds a two-level dictionary chain: IDX maps a constant
+// to a set of rows, HOP maps row keys onward — with deliberate holes so a
+// non-failing lookup mid-chain can come up empty.
+func chainInstance() *instance.Instance {
+	in := instance.NewInstance()
+	rows := instance.NewSet(
+		instance.StructOf("K", instance.Int(1), "A", instance.Int(10)),
+		instance.StructOf("K", instance.Int(2), "A", instance.Int(20)),
+		instance.StructOf("K", instance.Int(3), "A", instance.Int(30)),
+	)
+	idx := instance.NewDict()
+	idx.Put(instance.Str("hit"), rows)
+	idx.Put(instance.Str("empty"), instance.NewSet())
+	in.Bind("IDX", idx)
+
+	hop := instance.NewDict()
+	// Key 2 is missing, key 3 maps to an empty bucket.
+	hop.Put(instance.Int(1), instance.NewSet(
+		instance.StructOf("B", instance.Int(100)),
+		instance.StructOf("B", instance.Int(101)),
+	))
+	hop.Put(instance.Int(3), instance.NewSet())
+	in.Bind("HOP", hop)
+	return in
+}
+
+// TestEmptyLookupMidChain: a non-failing lookup in the middle of a chain
+// that returns no rows (missing key or empty bucket) must simply produce
+// nothing for that outer row and let the scan continue with the next one.
+func TestEmptyLookupMidChain(t *testing.T) {
+	in := chainInstance()
+	q := &core.Query{
+		Out: core.Prj(core.V("h"), "B"),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.LkNF(core.Name("IDX"), core.C("hit"))},
+			{Var: "h", Range: core.LkNF(core.Name("HOP"), core.Prj(core.V("r"), "K"))},
+		},
+	}
+	got, err := Execute(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only r.K=1 reaches a non-empty HOP bucket: rows 100 and 101.
+	if got.Len() != 2 {
+		t.Fatalf("got %d rows, want 2: %s", got.Len(), got)
+	}
+	for _, want := range []int64{100, 101} {
+		if !got.Contains(instance.Int(want)) {
+			t.Errorf("missing output %d in %s", want, got)
+		}
+	}
+}
+
+// TestEmptyLookupAtChainHead: a non-failing lookup over an empty bucket
+// as the outermost binding terminates immediately with an empty result.
+func TestEmptyLookupAtChainHead(t *testing.T) {
+	in := chainInstance()
+	for _, key := range []string{"empty", "absent"} {
+		q := &core.Query{
+			Out: core.Prj(core.V("r"), "A"),
+			Bindings: []core.Binding{
+				{Var: "r", Range: core.LkNF(core.Name("IDX"), core.C(key))},
+			},
+		}
+		got, err := Execute(q, in)
+		if err != nil {
+			t.Fatalf("key %q: %v", key, err)
+		}
+		if got.Len() != 0 {
+			t.Errorf("key %q: got %d rows, want 0", key, got.Len())
+		}
+	}
+}
+
+// TestFailingLookupMidChainErrors: the failing form M[k] must surface
+// ErrLookupFailed when an outer row's key is absent, rather than skipping
+// the row (the guarded dom-loop is the only sound way to iterate it).
+func TestFailingLookupMidChainErrors(t *testing.T) {
+	in := chainInstance()
+	q := &core.Query{
+		Out: core.Prj(core.V("h"), "B"),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.LkNF(core.Name("IDX"), core.C("hit"))},
+			{Var: "h", Range: core.Lk(core.Name("HOP"), core.Prj(core.V("r"), "K"))},
+		},
+	}
+	if _, err := Execute(q, in); err == nil {
+		t.Fatal("failing lookup over a missing key must error")
+	}
+}
+
+// TestRunRepeatsAfterReOpen: Run re-Opens the operator tree, so a second
+// Run of the same Plan yields an equal (deduplicated) result and a fresh
+// Measure — no state leaks across executions.
+func TestRunRepeatsAfterReOpen(t *testing.T) {
+	in := chainInstance()
+	// The projection collapses rows 100 and 101 onto their duplicate
+	// bucket membership — plus a self-join that produces duplicate output
+	// rows to exercise set deduplication.
+	q := &core.Query{
+		Out: core.Prj(core.V("a"), "A"),
+		Bindings: []core.Binding{
+			{Var: "a", Range: core.LkNF(core.Name("IDX"), core.C("hit"))},
+			{Var: "b", Range: core.LkNF(core.Name("IDX"), core.C("hit"))},
+		},
+	}
+	p, err := Compile(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := p.Measure()
+	second, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := p.Measure()
+	if !first.Equal(second) {
+		t.Errorf("re-Open changed the result: %s vs %s", first, second)
+	}
+	// 3x3 join rows dedup to 3 distinct outputs.
+	if first.Len() != 3 {
+		t.Errorf("got %d distinct rows, want 3", first.Len())
+	}
+	if m1 != m2 {
+		t.Errorf("re-Open did not reset counters: %+v vs %+v", m1, m2)
+	}
+	if m1.OutRows != 9 {
+		t.Errorf("OutRows = %d, want 9 pre-dedup join rows", m1.OutRows)
+	}
+}
+
+// TestMeasureCountsProbesAndRows pins the counter semantics the E14
+// calibration relies on: one Eval per range evaluation (a probe for
+// lookups), one Row per emitted binding row.
+func TestMeasureCountsProbesAndRows(t *testing.T) {
+	in := chainInstance()
+	q := &core.Query{
+		Out: core.Prj(core.V("h"), "B"),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.LkNF(core.Name("IDX"), core.C("hit"))},
+			{Var: "h", Range: core.LkNF(core.Name("HOP"), core.Prj(core.V("r"), "K"))},
+		},
+	}
+	p, err := Compile(q, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Measure()
+	// IDX probed once (3 rows emitted), HOP probed once per outer row
+	// (3 probes, 2 rows emitted).
+	if m.Evals != 4 {
+		t.Errorf("Evals = %d, want 4 (1 IDX probe + 3 HOP probes)", m.Evals)
+	}
+	if m.Rows != 5 {
+		t.Errorf("Rows = %d, want 5 (3 IDX rows + 2 HOP rows)", m.Rows)
+	}
+	if m.OutRows != 2 {
+		t.Errorf("OutRows = %d, want 2", m.OutRows)
+	}
+	if m.Cost() != float64(4+5+2) {
+		t.Errorf("Cost = %v, want 11", m.Cost())
+	}
+}
+
+// TestDescribeGolden pins the exact EXPLAIN rendering of each operator
+// kind: plans are first-class CI-tested artifacts, so their printed form
+// must not drift silently.
+func TestDescribeGolden(t *testing.T) {
+	in := chainInstance()
+	cases := []struct {
+		name string
+		q    *core.Query
+		want string
+	}{
+		{
+			name: "scan+filter",
+			q: &core.Query{
+				Out: core.Prj(core.V("r"), "A"),
+				Bindings: []core.Binding{
+					{Var: "r", Range: core.Name("R")},
+				},
+				Conds: []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.C(int64(10))}},
+			},
+			want: "Project r.A\n" +
+				"  Filter [r.A = 10]\n" +
+				"    Scan R as r\n",
+		},
+		{
+			name: "lookup chain",
+			q: &core.Query{
+				Out: core.Prj(core.V("h"), "B"),
+				Bindings: []core.Binding{
+					{Var: "r", Range: core.LkNF(core.Name("IDX"), core.C("hit"))},
+					{Var: "h", Range: core.Lk(core.Name("HOP"), core.Prj(core.V("r"), "K"))},
+				},
+			},
+			want: "Project h.B\n" +
+				"  LookupScan HOP[r.K] as h\n" +
+				"    LookupScan(non-failing) IDX{\"hit\"} as r\n",
+		},
+		{
+			name: "dom and path scans",
+			q: &core.Query{
+				Out: core.Prj(core.V("x"), "B"),
+				Bindings: []core.Binding{
+					{Var: "k", Range: core.Dom(core.Name("HOP"))},
+					{Var: "x", Range: core.Lk(core.Name("HOP"), core.V("k"))},
+					{Var: "p", Range: core.Prj(core.V("x"), "Subs")},
+				},
+			},
+			want: "Project x.B\n" +
+				"  PathScan x.Subs as p\n" +
+				"    LookupScan HOP[k] as x\n" +
+				"      DomScan dom(HOP) as k\n",
+		},
+	}
+	for _, tc := range cases {
+		p, err := Compile(tc.q, in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := p.Explain(); got != tc.want {
+			t.Errorf("%s: Explain drifted\ngot:\n%s\nwant:\n%s", tc.name, got, tc.want)
+		}
+	}
+}

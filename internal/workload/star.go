@@ -384,6 +384,45 @@ func (s *Star) Generate(opts StarGenOptions) *instance.Instance {
 	return in
 }
 
+// RandomStar draws a small random member of the star/snowflake family
+// plus matching generation options, sized so that exhaustive backchase
+// enumeration and plan execution both stay fast — the randomized
+// calibration suite runs dozens of cases. The instance is always
+// consistent (NumDim >= DomA so every selection constant hits a
+// dimension row and every index/view is fully materialized), so measured
+// executions of equivalent plans agree.
+func RandomStar(r *rand.Rand) (StarConfig, StarGenOptions) {
+	cfg := StarConfig{
+		Dims:          1,
+		Views:         r.Intn(2),
+		FactIndexes:   r.Intn(2),
+		DimKeyIndexes: r.Intn(2),
+		DimIndex:      r.Intn(2) == 0,
+		Select:        r.Intn(4) != 0,
+		ProjectAll:    r.Intn(2) == 0,
+		FKConstraints: r.Intn(2) == 0,
+	}
+	// A second dimension (occasionally snowflaked) grows the lattice
+	// considerably; draw it rarely and strip the extras so the exhaustive
+	// reference enumeration stays affordable.
+	if r.Intn(4) == 0 {
+		cfg.Dims = 2
+		cfg.Snowflake = r.Intn(4) == 0
+		cfg.Views = 0
+		cfg.DimKeyIndexes = 0
+	}
+	domA := 2 + r.Intn(4)
+	cfg.SelectA = int64(r.Intn(domA))
+	gen := StarGenOptions{
+		NumFact: 20 + r.Intn(40),
+		NumDim:  domA + r.Intn(12),
+		NumSub:  2 + r.Intn(4),
+		DomA:    domA,
+		Seed:    r.Int63(),
+	}
+	return cfg, gen
+}
+
 func factKey(i int) string { return fmt.Sprintf("K%d", i) }
 func dim(i int) string     { return fmt.Sprintf("D%d", i) }
 func sub(i int) string     { return fmt.Sprintf("SUB%d", i) }

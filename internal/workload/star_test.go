@@ -1,10 +1,41 @@
 package workload
 
 import (
+	"math/rand"
 	"testing"
 
 	"cnb/internal/eval"
 )
+
+// TestRandomStarScenariosAreConsistent: every randomly drawn scenario
+// must build, generate a dependency-satisfying instance (the calibration
+// suite executes plans on it — equivalence only holds on valid
+// instances), and keep the selection constant inside the attribute
+// domain.
+func TestRandomStarScenariosAreConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		cfg, gen := RandomStar(r)
+		if cfg.Select && cfg.SelectA >= int64(gen.DomA) {
+			t.Fatalf("draw %d: SelectA %d outside DomA %d", i, cfg.SelectA, gen.DomA)
+		}
+		if gen.NumDim < gen.DomA {
+			t.Fatalf("draw %d: NumDim %d < DomA %d leaves selection values unpopulated", i, gen.NumDim, gen.DomA)
+		}
+		s, err := NewStar(cfg)
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		in := s.Generate(gen)
+		name, err := eval.SatisfiesAll(s.Deps, in)
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if name != "" {
+			t.Errorf("draw %d: instance violates %s (cfg %+v)", i, name, cfg)
+		}
+	}
+}
 
 func e13StarConfig() StarConfig {
 	return StarConfig{
