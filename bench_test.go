@@ -57,6 +57,7 @@ func BenchmarkE10Gmap(b *testing.B)         { benchExperiment(b, "E10") }
 func BenchmarkE11Semantic(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12Parallel(b *testing.B)     { benchExperiment(b, "E12") }
 func BenchmarkE13CostBounded(b *testing.B)  { benchExperiment(b, "E13") }
+func BenchmarkE15IncChase(b *testing.B)     { benchExperiment(b, "E15") }
 
 // --- pipeline phase micro-benchmarks --------------------------------------
 
@@ -79,6 +80,32 @@ func BenchmarkChaseProjDept(b *testing.B) {
 		if _, err := chase.Chase(pd.Q, deps, chase.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkChaseNaiveVsIncremental compares the textbook fixpoint with
+// the delta-driven engine on the snowflake chase — the inner loop the
+// PR 4 refactor targets. Results are byte-identical; only work differs.
+func BenchmarkChaseNaiveVsIncremental(b *testing.B) {
+	s, err := workload.NewStar(workload.StarConfig{
+		Dims: 2, Views: 1, FactIndexes: 1, DimIndex: true,
+		Select: true, SelectA: 3, FKConstraints: true, Snowflake: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"naive", true}, {"incremental", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Chase(s.Q, s.Deps, chase.Options{Naive: mode.naive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

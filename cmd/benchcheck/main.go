@@ -8,12 +8,18 @@
 //     which grow when the bound improves) may grow by at most
 //     -state-tolerance (default 10%) — more lattice states explored for
 //     the same workload is a search regression;
+//   - every metric whose name ends in "_hom_tests" may grow by at most
+//     the same tolerance — more homomorphism-search work for the same
+//     workload is a chase regression, gated exactly like state counts;
 //   - every metric whose name starts with "cheapest_cost" must not
 //     change beyond float noise (relative 1e-6) — the admissible bound
 //     guarantees the cheapest plan cost is schedule- and
 //     pruning-independent, so any drift means a soundness or cost-model
 //     change that must be reviewed (and the baseline regenerated
 //     deliberately);
+//   - the "chase_steps" metric is held exactly: chase step counts are
+//     deterministic, and both chase engines are pinned to the same step
+//     sequence, so any drift means the chase itself changed behavior;
 //   - experiments and gated metrics present in the baseline must still
 //     exist in the current report.
 //
@@ -102,8 +108,9 @@ func main() {
 			// Pruned counters grow when the bound improves; they are not
 			// exploration work and are never gated.
 			gatedStates := strings.HasSuffix(name, "_states") && !strings.Contains(name, "pruned")
-			gatedCost := strings.HasPrefix(name, "cheapest_cost")
-			if !gatedStates && !gatedCost {
+			gatedWork := strings.HasSuffix(name, "_hom_tests")
+			gatedCost := strings.HasPrefix(name, "cheapest_cost") || name == "chase_steps"
+			if !gatedStates && !gatedWork && !gatedCost {
 				continue
 			}
 			now, ok := curMetrics[name]
@@ -113,16 +120,16 @@ func main() {
 			}
 			checked++
 			switch {
-			case gatedStates:
+			case gatedStates || gatedWork:
 				if now > base*(1+*stateTol) {
-					fail("%s/%s: %g states vs baseline %g (> %.0f%% regression)",
+					fail("%s/%s: %g vs baseline %g (> %.0f%% regression)",
 						exp.ID, name, now, base, *stateTol*100)
 				} else {
 					fmt.Printf("ok %s/%s: %g vs baseline %g\n", exp.ID, name, now, base)
 				}
 			case gatedCost:
 				if diff := now - base; diff > base*costTolerance || -diff > base*costTolerance {
-					fail("%s/%s: cheapest cost %g vs baseline %g — any change must be reviewed",
+					fail("%s/%s: %g vs baseline %g — any change must be reviewed",
 						exp.ID, name, now, base)
 				} else {
 					fmt.Printf("ok %s/%s: %g vs baseline %g\n", exp.ID, name, now, base)

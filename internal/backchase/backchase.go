@@ -86,6 +86,13 @@ type Options struct {
 	// without spawning workers. Cached Results are shared — treat them as
 	// read-only.
 	Cache *PlanCache
+	// Index is a prebuilt chase dependency index over the same dependency
+	// set passed to Enumerate (chase.NewDepIndex(deps)); the optimizer
+	// shares the index of its chase phase this way. Nil means the engine
+	// builds its own. The index is a pure function of the dependency set
+	// and never changes results, so it does not participate in cache
+	// keys.
+	Index *chase.DepIndex
 }
 
 func (o Options) withDefaults() Options {
@@ -375,6 +382,13 @@ func Subquery(q *core.Query, removedVars map[string]bool) (*core.Query, bool) {
 // paper's displayed plans — e.g. P2 without the primary-index equality
 // I[p.PName] = p — correspond to the pruned form.
 func Normalize(q *core.Query, deps []*core.Dependency, opts chase.Options) *core.Query {
+	return normalizeIndexed(context.Background(), q, chase.NewDepIndex(deps), opts)
+}
+
+// normalizeIndexed is Normalize over a prebuilt dependency index, so the
+// engine's per-plan normalizations reuse one index across the whole
+// lattice.
+func normalizeIndexed(ctx context.Context, q *core.Query, ix *chase.DepIndex, opts chase.Options) *core.Query {
 	cur := q.Clone()
 	for changed := true; changed; {
 		changed = false
@@ -394,11 +408,11 @@ func Normalize(q *core.Query, deps []*core.Dependency, opts chase.Options) *core
 			cand := cur.Clone()
 			cond := cand.Conds[i]
 			cand.Conds = append(cand.Conds[:i:i], cand.Conds[i+1:]...)
-			res, err := chase.Chase(cand, deps, opts)
+			res, err := chase.ChaseIndexed(ctx, cand, ix, opts)
 			if err != nil || res.Inconsistent {
 				continue
 			}
-			cn := chase.NewCanon(res.Query)
+			cn := opts.NewCanon(res.Query)
 			if cn.CC.Same(cond.L, cond.R) {
 				cur = cand
 				changed = true
@@ -407,9 +421,9 @@ func Normalize(q *core.Query, deps []*core.Dependency, opts chase.Options) *core
 		}
 	}
 	// Output normalization against the chased plan's congruence classes.
-	res, err := chase.Chase(cur, deps, opts)
+	res, err := chase.ChaseIndexed(ctx, cur, ix, opts)
 	if err == nil && !res.Inconsistent {
-		cn := chase.NewCanon(res.Query)
+		cn := opts.NewCanon(res.Query)
 		own := cur.BoundVars()
 		cur.Out = normalizeTerm(cur.Out, cn, own)
 	}
@@ -500,17 +514,27 @@ func topoSortBindings(bs []core.Binding) ([]core.Binding, bool) {
 // containment in both directions: Qi ⊑ Qj iff there is a containment
 // mapping (homomorphism with output match) from Qj into chase(Qi).
 func equivalentContext(ctx context.Context, q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
-	c1, err := containedContext(ctx, q1, q2, deps, opts)
+	return equivalentIndexed(ctx, q1, q2, chase.NewDepIndex(deps), opts)
+}
+
+// equivalentIndexed is equivalentContext over a prebuilt dependency index.
+func equivalentIndexed(ctx context.Context, q1, q2 *core.Query, ix *chase.DepIndex, opts chase.Options) (bool, error) {
+	c1, err := containedIndexed(ctx, q1, q2, ix, opts)
 	if err != nil || !c1 {
 		return false, err
 	}
-	return containedContext(ctx, q2, q1, deps, opts)
+	return containedIndexed(ctx, q2, q1, ix, opts)
 }
 
 // containedContext decides Q1 ⊑ Q2 under deps (every answer of Q1 is an
 // answer of Q2 on instances satisfying deps).
 func containedContext(ctx context.Context, q1, q2 *core.Query, deps []*core.Dependency, opts chase.Options) (bool, error) {
-	res, err := chase.ChaseContext(ctx, q1, deps, opts)
+	return containedIndexed(ctx, q1, q2, chase.NewDepIndex(deps), opts)
+}
+
+// containedIndexed is containedContext over a prebuilt dependency index.
+func containedIndexed(ctx context.Context, q1, q2 *core.Query, ix *chase.DepIndex, opts chase.Options) (bool, error) {
+	res, err := chase.ChaseIndexed(ctx, q1, ix, opts)
 	if err != nil {
 		return false, err
 	}
@@ -520,7 +544,7 @@ func containedContext(ctx context.Context, q1, q2 *core.Query, deps []*core.Depe
 	// Freshen q2 apart from the chased q1 to avoid variable capture.
 	avoid := res.Query.BoundVars()
 	q2f := q2.RenameVars(core.FreshRenaming("h_", avoid))
-	cn := chase.NewCanon(res.Query)
+	cn := opts.NewCanon(res.Query)
 	homs := cn.HomsOfQueryInto(q2f, res.Query.Out, 1)
 	return len(homs) > 0, nil
 }
@@ -559,6 +583,12 @@ func BruteForceMinimalContext(ctx context.Context, q *core.Query, deps []*core.D
 		q    *core.Query
 		size int
 	}
+	// One premise index serves every subset's equivalence chases; the
+	// index is immutable, so the worker fan-out below shares it freely.
+	ix := opts.Index
+	if ix == nil {
+		ix = chase.NewDepIndex(deps)
+	}
 	checkMask := func(mask int) (*cand, error) {
 		removed := map[string]bool{}
 		for i := 0; i < n; i++ {
@@ -575,7 +605,7 @@ func BruteForceMinimalContext(ctx context.Context, q *core.Query, deps []*core.D
 		}
 		// The cascade may have removed more than the mask requested; skip
 		// duplicates via signature dedup below.
-		eq, err := equivalentContext(ctx, sub, q, deps, opts.Chase)
+		eq, err := equivalentIndexed(ctx, sub, q, ix, opts.Chase)
 		if err != nil {
 			if _, budget := err.(*chase.ErrBudget); budget {
 				return nil, nil

@@ -209,6 +209,7 @@ type planEntry struct {
 type engine struct {
 	root      *core.Query
 	deps      []*core.Dependency
+	depIndex  *chase.DepIndex // premise index shared by every chase of the run
 	opts      Options
 	rootCanon *chase.Canon // pristine; cloned per equivalence check
 	queue     *workQueue
@@ -239,15 +240,23 @@ type engine struct {
 }
 
 func newEngine(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*engine, error) {
-	res, err := chase.ChaseContext(ctx, q, deps, opts.Chase)
+	// The dependency set is fixed for the whole run, so one premise index
+	// serves the root chase and every lattice state's equivalence chases
+	// (Options.Index lets the optimizer share its own chase phase's index).
+	ix := opts.Index
+	if ix == nil {
+		ix = chase.NewDepIndex(deps)
+	}
+	res, err := chase.ChaseIndexed(ctx, q, ix, opts.Chase)
 	if err != nil {
 		return nil, err
 	}
 	e := &engine{
 		root:      q,
 		deps:      deps,
+		depIndex:  ix,
 		opts:      opts,
-		rootCanon: chase.NewCanon(res.Query),
+		rootCanon: opts.Chase.NewCanon(res.Query),
 		queue:     newWorkQueue(opts.Stats != nil),
 		seed:      maphash.MakeSeed(),
 		plans:     map[string]planEntry{},
@@ -442,7 +451,7 @@ func (e *engine) plansFull() bool {
 // canonical rendering, not whichever worker arrived first, so the
 // reported plan set is independent of scheduling.
 func (e *engine) addPlan(cur *core.Query) {
-	plan := Normalize(cur, e.deps, e.opts.Chase)
+	plan := normalizeIndexed(context.Background(), cur, e.depIndex, e.opts.Chase)
 	cost := math.NaN()
 	if e.opts.Stats != nil {
 		cost = e.costPlan(plan)
@@ -559,7 +568,7 @@ func (e *engine) equivalentToRoot(ctx context.Context, sub *core.Query) (bool, e
 	if len(cn.HomsOfQueryInto(subF, cn.Q.Out, 1)) == 0 {
 		return false, nil
 	}
-	return containedContext(ctx, sub, e.root, e.deps, e.opts.Chase)
+	return containedIndexed(ctx, sub, e.root, e.depIndex, e.opts.Chase)
 }
 
 // buildCandidate constructs the candidate state for removing the named

@@ -100,6 +100,7 @@ func All() []Experiment {
 		{"E12", "Parallel backchase: serial vs worker-pool wall clock", E12},
 		{"E13", "Cost-bounded best-first backchase vs exhaustive (star/snowflake)", E13},
 		{"E14", "Dictionary-aware bound vs scan-only bound + measured-cost calibration", E14},
+		{"E15", "Incremental chase: hom tests naive vs delta-indexed (star/snowflake)", E15},
 	}
 }
 
@@ -991,6 +992,96 @@ func E14() (*Table, error) {
 		"agree = dictionary-aware states < scan-only states < exhaustive states AND identical best cost across all three",
 		fmt.Sprintf("totals: exhaustive %.0f states, scan-only bound %.0f, dictionary-aware %.0f (+%.0f pruned)",
 			totals.ex, totals.scan, totals.tight, totals.pruned))
+	return tb, nil
+}
+
+// E15 measures the delta-driven incremental chase (PR 4) against the
+// naive fixpoint on the E13 star/snowflake workloads: the full pipeline —
+// root chase to the universal plan plus every per-state equivalence chase
+// of an exhaustive backchase — runs once with each engine, and the chase
+// work counters (chase.Metrics) are compared. The two engines produce
+// byte-identical chase steps, so states, plans and chase_steps must
+// agree exactly; hom_tests is where the dependency index, the per-step
+// delta discipline and the rep-seeded homomorphism search pay off
+// (>= 2x fewer on every workload, gated by TestE15IncrementalChase and
+// the bench-check pipeline via the naive_hom_tests / indexed_hom_tests /
+// chase_steps metrics).
+func E15() (*Table, error) {
+	tb := &Table{
+		ID:      "E15",
+		Title:   "Incremental chase: hom tests naive vs delta-indexed (star/snowflake)",
+		Columns: []string{"workload", "engine", "chase steps", "hom tests", "dep searches", "states", "plans", "time", "ratio"},
+		Metrics: map[string]float64{},
+	}
+	var totalNaive, totalIndexed, totalSteps float64
+	minRatio := math.Inf(1)
+	for _, wl := range e13Workloads() {
+		s, err := workload.NewStar(wl.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		type outcome struct {
+			m             *chase.Metrics
+			states, plans int
+			wall          time.Duration
+		}
+		runEngine := func(naive bool) (*outcome, error) {
+			o := &outcome{m: &chase.Metrics{}}
+			copts := chase.Options{Naive: naive, Metrics: o.m}
+			start := time.Now()
+			chased, err := chase.Chase(s.Q, s.Deps, copts)
+			if err != nil {
+				return nil, err
+			}
+			enum, err := backchase.Enumerate(chased.Query, s.Deps,
+				backchase.Options{Parallelism: Parallelism, Chase: copts})
+			if err != nil {
+				return nil, err
+			}
+			o.states, o.plans, o.wall = enum.States, len(enum.Plans), time.Since(start)
+			return o, nil
+		}
+		naive, err := runEngine(true)
+		if err != nil {
+			return nil, err
+		}
+		indexed, err := runEngine(false)
+		if err != nil {
+			return nil, err
+		}
+		if naive.states != indexed.states || naive.plans != indexed.plans ||
+			naive.m.ChaseSteps.Load() != indexed.m.ChaseSteps.Load() {
+			return nil, fmt.Errorf("E15 %s: engines disagree: states %d/%d plans %d/%d steps %d/%d",
+				wl.Name, naive.states, indexed.states, naive.plans, indexed.plans,
+				naive.m.ChaseSteps.Load(), indexed.m.ChaseSteps.Load())
+		}
+		ratio := float64(naive.m.HomTests.Load()) / float64(indexed.m.HomTests.Load())
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+		row := func(label string, o *outcome, ratioCell string) []string {
+			return []string{wl.Name, label,
+				fmt.Sprintf("%d", o.m.ChaseSteps.Load()),
+				fmt.Sprintf("%d", o.m.HomTests.Load()),
+				fmt.Sprintf("%d", o.m.DepSearches.Load()),
+				fmt.Sprintf("%d", o.states), fmt.Sprintf("%d", o.plans),
+				o.wall.Round(time.Millisecond).String(), ratioCell}
+		}
+		tb.Rows = append(tb.Rows,
+			row("naive", naive, ""),
+			row("delta-indexed", indexed, fmt.Sprintf("%.2fx", ratio)))
+		totalNaive += float64(naive.m.HomTests.Load())
+		totalIndexed += float64(indexed.m.HomTests.Load())
+		totalSteps += float64(indexed.m.ChaseSteps.Load())
+	}
+	tb.Metrics["naive_hom_tests"] = totalNaive
+	tb.Metrics["indexed_hom_tests"] = totalIndexed
+	tb.Metrics["chase_steps"] = totalSteps
+	tb.Metrics["hom_test_ratio"] = totalNaive / totalIndexed
+	tb.Notes = append(tb.Notes,
+		"both engines produce byte-identical chase steps; only the search work differs",
+		fmt.Sprintf("totals: %0.f naive vs %0.f indexed hom tests (%.2fx; min per-workload %.2fx) over %.0f chase steps",
+			totalNaive, totalIndexed, totalNaive/totalIndexed, minRatio, totalSteps))
 	return tb, nil
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -118,6 +119,41 @@ func TestE14TightBoundAndCalibration(t *testing.T) {
 	if tb.Metrics["spearman_min"] <= 0 {
 		t.Errorf("spearman_min = %v, want > 0 (estimates must correlate with measurement)",
 			tb.Metrics["spearman_min"])
+	}
+}
+
+// TestE15IncrementalChase pins the headline claim of the delta-driven
+// chase: on every star/snowflake workload the incremental engine does at
+// least 2x fewer homomorphism tests than the naive fixpoint while the
+// experiment itself asserts identical states, plans and chase steps (it
+// errors out on any disagreement).
+func TestE15IncrementalChase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 runs full lattice enumerations twice")
+	}
+	tb, err := E15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "delta-indexed" {
+			continue
+		}
+		ratio := row[len(row)-1]
+		var r float64
+		if _, err := fmt.Sscanf(ratio, "%fx", &r); err != nil {
+			t.Fatalf("workload %q: unparsable ratio %q", row[0], ratio)
+		}
+		if r < 2 {
+			t.Errorf("workload %q: hom-test reduction %.2fx below the promised 2x", row[0], r)
+		}
+	}
+	if tb.Metrics["indexed_hom_tests"] >= tb.Metrics["naive_hom_tests"] {
+		t.Errorf("indexed hom tests %v not below naive %v",
+			tb.Metrics["indexed_hom_tests"], tb.Metrics["naive_hom_tests"])
+	}
+	if tb.Metrics["chase_steps"] <= 0 {
+		t.Error("chase_steps metric missing")
 	}
 }
 

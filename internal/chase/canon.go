@@ -14,10 +14,33 @@ package chase
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"cnb/internal/congruence"
 	"cnb/internal/core"
 )
+
+// Metrics accumulates work counters across chase runs and homomorphism
+// searches. All fields are atomic so one Metrics may be shared by the
+// concurrent equivalence checks of the parallel backchase; attach it via
+// Options.Metrics (chase runs) or Canon.Metrics (direct hom searches).
+type Metrics struct {
+	// HomTests counts candidate membership tests during homomorphism
+	// search: each comparison of a target binding against a transported
+	// source range (the inner loop of VisitHoms). This is the backtracking
+	// work the delta discipline exists to avoid.
+	HomTests atomic.Int64
+	// DepSearches counts premise searches: one per dependency actually
+	// searched per fixpoint iteration (skipped clean dependencies are the
+	// difference between the naive and incremental engines).
+	DepSearches atomic.Int64
+	// ChaseSteps counts applied chase steps. Identical for the naive and
+	// incremental engines on the same input — the differential suite
+	// asserts it.
+	ChaseSteps atomic.Int64
+	// Runs counts chase fixpoints started.
+	Runs atomic.Int64
+}
 
 // Canon is the canonical database of a query: its congruence closure plus
 // the membership facts contributed by the from clause.
@@ -29,6 +52,29 @@ import (
 type Canon struct {
 	Q  *core.Query
 	CC *congruence.Closure
+	// Metrics, when non-nil, accumulates homomorphism-search counters.
+	// Shared (not deep-copied) by Clone; safe because all fields are
+	// atomic.
+	Metrics *Metrics
+	// LinearScan disables the rep-keyed target index: every homomorphism
+	// search level scans all target bindings, re-resolving representatives
+	// per candidate (the textbook behavior). Enabled only by the naive
+	// chase engine so that naive-vs-incremental measurements compare the
+	// full backtracking cost against the seeded search; results are
+	// identical either way.
+	LinearScan bool
+	// tix caches target bindings grouped by the congruence representative
+	// of their range; rebuilt lazily whenever the closure version or the
+	// binding list moves on. Never shared by Clone (clones diverge).
+	tix *targetIndex
+}
+
+// targetIndex groups target binding positions by the representative of
+// their range, valid for one (closure version, binding count) snapshot.
+type targetIndex struct {
+	version uint64
+	n       int
+	byRep   map[int][]int
 }
 
 // Clone returns an independent copy of the canonical database. The query
@@ -36,7 +82,41 @@ type Canon struct {
 // copied. Concurrent Clones of one Canon are safe provided no goroutine
 // mutates it at the same time.
 func (cn *Canon) Clone() *Canon {
-	return &Canon{Q: cn.Q, CC: cn.CC.Clone()}
+	return &Canon{Q: cn.Q, CC: cn.CC.Clone(), Metrics: cn.Metrics, LinearScan: cn.LinearScan}
+}
+
+// targetCandidates returns the positions of the target bindings whose
+// range is congruent to want, in ascending binding order, as of the
+// current closure version. The index is rebuilt lazily; the rebuild cost
+// is charged to Metrics.HomTests like any other membership work. Callers
+// must stop trusting the slice once the closure version changes (a merge
+// can add candidates) — visitHoms falls back to the linear scan then.
+func (cn *Canon) targetCandidates(want *core.Term) ([]int, int64) {
+	rw := cn.CC.Rep(want) // may trigger derived unions; bump handled below
+	tested := int64(0)
+	if cn.tix == nil || cn.tix.version != cn.CC.Version() || cn.tix.n != len(cn.Q.Bindings) {
+		byRep := make(map[int][]int, len(cn.Q.Bindings))
+		for i, tb := range cn.Q.Bindings {
+			r := cn.CC.Rep(tb.Range) // interned already: no union possible
+			byRep[r] = append(byRep[r], i)
+		}
+		tested += int64(len(cn.Q.Bindings))
+		cn.tix = &targetIndex{version: cn.CC.Version(), n: len(cn.Q.Bindings), byRep: byRep}
+	}
+	return cn.tix.byRep[rw], tested
+}
+
+// NewCanon builds the canonical database of a query, configured from the
+// chase options: work done in it counts toward opts.Metrics, and the
+// naive flag selects the linear (unseeded) homomorphism scan so that
+// naive-vs-incremental measurements stay comparable. Use this for any
+// canon whose searches belong to a chase pipeline; the bare NewCanon is
+// for standalone use.
+func (o Options) NewCanon(q *core.Query) *Canon {
+	cn := NewCanon(q)
+	cn.Metrics = o.Metrics
+	cn.LinearScan = o.Naive
+	return cn
 }
 
 // NewCanon builds the canonical database of a query.
@@ -111,13 +191,32 @@ func (cn *Canon) FindHoms(srcBindings []core.Binding, srcConds []core.Cond, init
 // exponential) homomorphism set when the caller needs only the first
 // match — the chase's applicability test is the hot path.
 func (cn *Canon) VisitHoms(srcBindings []core.Binding, srcConds []core.Cond, init Hom, visit func(Hom) bool) {
+	cn.visitHoms(srcBindings, srcConds, init, -1, visit)
+}
+
+// visitHoms is VisitHoms with an optional semi-naive delta restriction:
+// with deltaStart >= 0, only homomorphisms that assign at least one source
+// variable to a target binding of index >= deltaStart are visited, in the
+// same lexicographic backtracking order as the full enumeration (the
+// visited sequence is a subsequence of the full one). The incremental
+// chase uses this for dependencies whose only relevant change since their
+// last exhausted search is a batch of appended bindings: every older
+// homomorphism has already been searched and found conclusion-satisfied,
+// a state that is monotone under chase extension, so skipping it is
+// sound. deltaStart must only be combined with a nil init (the premise
+// search); pre-assigned variables do not pick a target index.
+func (cn *Canon) visitHoms(srcBindings []core.Binding, srcConds []core.Cond, init Hom, deltaStart int, visit func(Hom) bool) {
 	h := Hom{}
 	for k, v := range init {
 		h[k] = v
 	}
-	var rec func(i int) bool // returns true to stop early
-	rec = func(i int) bool {
+	tested := int64(0)
+	var rec func(i int, usedDelta bool) bool // returns true to stop early
+	rec = func(i int, usedDelta bool) bool {
 		if i == len(srcBindings) {
+			if deltaStart >= 0 && !usedDelta {
+				return false
+			}
 			for _, c := range srcConds {
 				if !cn.Holds(h, c) {
 					return false
@@ -127,44 +226,95 @@ func (cn *Canon) VisitHoms(srcBindings []core.Binding, srcConds []core.Cond, ini
 		}
 		sb := srcBindings[i]
 		if _, pre := h[sb.Var]; pre {
-			// Variable pre-assigned by init: verify membership — some
-			// target binding must have a congruent range and a congruent
-			// variable.
+			// Variable pre-assigned by init (or by an earlier level when a
+			// premise repeats a variable): verify membership — some target
+			// binding must have a congruent range and a congruent variable.
+			// A witness at a delta index counts as delta use: if the first
+			// witness is old, the homomorphism existed at the last
+			// exhausted search and skipping it stays sound; if only a delta
+			// binding witnesses the membership, the homomorphism is new.
 			want := h.Apply(sb.Range)
-			ok := false
+			witness := -1
 			got := h[sb.Var]
-			for _, tb := range cn.Q.Bindings {
+			for ti, tb := range cn.Q.Bindings {
+				tested++
 				if cn.CC.Same(tb.Range, want) && cn.CC.Same(core.V(tb.Var), got) {
-					ok = true
+					witness = ti
 					break
 				}
 			}
-			if !ok {
+			if witness < 0 {
 				return false
 			}
-			return rec(i + 1)
+			return rec(i+1, usedDelta || (deltaStart >= 0 && witness >= deltaStart))
 		}
-		// Substitute the source range once; deeper recursion levels can
-		// trigger congruence merges, so representatives are re-resolved
-		// per candidate (cheap: the term is already interned).
+		// On the last level of a delta-restricted search a homomorphism
+		// that has not yet used a delta binding can only complete through
+		// one, so older targets are skipped wholesale.
+		first := 0
+		if deltaStart >= 0 && !usedDelta && i == len(srcBindings)-1 {
+			first = deltaStart
+		}
 		want := h.Apply(sb.Range)
-		for _, tb := range cn.Q.Bindings {
-			if cn.CC.Rep(tb.Range) != cn.CC.Rep(want) {
-				continue
-			}
+		// tryTarget assigns the candidate, applies early condition pruning
+		// (conditions all of whose variables are assigned), and descends.
+		tryTarget := func(ti int) bool {
+			tb := cn.Q.Bindings[ti]
 			h[sb.Var] = core.V(tb.Var)
-			// Early condition pruning: check conditions all of whose
-			// variables are assigned.
 			if cn.condsOK(h, srcConds) {
-				if rec(i + 1) {
+				if rec(i+1, usedDelta || (deltaStart >= 0 && ti >= deltaStart)) {
 					return true
 				}
 			}
 			delete(h, sb.Var)
+			return false
+		}
+		// Seeded scan: only the targets whose range representative matches
+		// want's, looked up in the rep-keyed index, instead of backtracking
+		// over the whole canonical database. Descending into a candidate
+		// can merge classes (condition checks and deeper levels intern
+		// transported terms), which may make further targets congruent to
+		// want — exactly what the naive re-resolving scan would observe —
+		// so a version bump mid-level falls back to the linear scan for
+		// the remaining positions.
+		linearFrom := 0
+		if !cn.LinearScan {
+			cands, rebuildCost := cn.targetCandidates(want)
+			tested += rebuildCost
+			ver := cn.CC.Version()
+			linearFrom = len(cn.Q.Bindings)
+			for _, ti := range cands {
+				if ti < first {
+					continue
+				}
+				tested++
+				if tryTarget(ti) {
+					return true
+				}
+				if cn.CC.Version() != ver {
+					linearFrom = ti + 1
+					break
+				}
+			}
+		}
+		for ti := linearFrom; ti < len(cn.Q.Bindings); ti++ {
+			if ti < first {
+				continue
+			}
+			tested++
+			if cn.CC.Rep(cn.Q.Bindings[ti].Range) != cn.CC.Rep(want) {
+				continue
+			}
+			if tryTarget(ti) {
+				return true
+			}
 		}
 		return false
 	}
-	rec(0)
+	rec(0, false)
+	if cn.Metrics != nil && tested > 0 {
+		cn.Metrics.HomTests.Add(tested)
+	}
 }
 
 // condsOK checks the conditions whose variables are fully assigned by h.

@@ -17,6 +17,18 @@ type Options struct {
 	// MaxBindings aborts if the chased query grows beyond this many
 	// bindings (runaway non-terminating chase). Zero means default (512).
 	MaxBindings int
+	// Metrics, when non-nil, accumulates work counters (hom tests, chase
+	// steps) across runs. Safe to share between concurrent chases; has no
+	// effect on results, so it does not participate in cache keys.
+	Metrics *Metrics
+	// Naive forces the textbook fixpoint that rescans every dependency
+	// and restarts homomorphism search from scratch at each step, instead
+	// of the delta-driven incremental engine. The two produce byte-
+	// identical results and step sequences (the naive-vs-incremental
+	// differential suite gates this); the flag exists for that suite and
+	// for A/B work measurements (E15). It does not participate in cache
+	// keys.
+	Naive bool
 }
 
 func (o Options) withDefaults() Options {
@@ -50,10 +62,19 @@ type Result struct {
 type ErrBudget struct {
 	Steps    int
 	Bindings int
+	// Dep names the dependency that fired the last applied step — for a
+	// non-terminating dependency set, the one driving the runaway loop.
+	// Empty only if the budget was exhausted before any step applied
+	// (MaxBindings smaller than the input query).
+	Dep string
 }
 
 func (e *ErrBudget) Error() string {
-	return fmt.Sprintf("chase: budget exhausted after %d steps (%d bindings); dependency set may not terminate", e.Steps, e.Bindings)
+	msg := fmt.Sprintf("chase: budget exhausted after %d steps (%d bindings)", e.Steps, e.Bindings)
+	if e.Dep != "" {
+		msg += fmt.Sprintf(", last firing dependency %s", e.Dep)
+	}
+	return msg + "; dependency set may not terminate"
 }
 
 // Chase runs the standard chase of q with the dependencies to fixpoint:
@@ -78,48 +99,12 @@ func Chase(q *core.Query, deps []*core.Dependency, opts Options) (*Result, error
 // ChaseContext is Chase with cancellation: the context is consulted
 // before every chase step, so a cancelled context interrupts even
 // long-running fixpoints promptly. It returns ctx.Err() on cancellation.
+//
+// Each call builds a fresh dependency index; callers chasing many queries
+// against one fixed dependency set (the backchase, the optimizer) should
+// build the index once with NewDepIndex and use ChaseIndexed.
 func ChaseContext(ctx context.Context, q *core.Query, deps []*core.Dependency, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	cur := q.Clone()
-	res := &Result{}
-	egds, tgds := splitEGDs(deps)
-	cn := NewCanon(cur)
-	for steps := 0; ; steps++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if steps >= opts.MaxSteps {
-			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings)}
-		}
-		if len(cur.Bindings) > opts.MaxBindings {
-			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings)}
-		}
-		if _, _, clash := cn.CC.ConstantClash(); clash {
-			res.Query = cur
-			res.Inconsistent = true
-			return res, nil
-		}
-		dep, hom := findApplicable(cn, egds)
-		if dep == nil {
-			dep, hom = findApplicable(cn, tgds)
-		}
-		if dep == nil {
-			res.Query = cur
-			return res, nil
-		}
-		next := applyStep(cur, dep, hom)
-		// Extend the canonical database with the new facts only.
-		for _, b := range next.Bindings[len(cur.Bindings):] {
-			cn.CC.Add(b.Range)
-			cn.CC.Add(core.V(b.Var))
-		}
-		for _, c := range next.Conds[len(cur.Conds):] {
-			cn.CC.Merge(c.L, c.R)
-		}
-		cur = next
-		cn.Q = cur
-		res.Steps = append(res.Steps, Step{Dep: dep.Name, Hom: hom})
-	}
+	return ChaseIndexed(ctx, q, NewDepIndex(deps), opts)
 }
 
 func splitEGDs(deps []*core.Dependency) (egds, tgds []*core.Dependency) {

@@ -1,0 +1,352 @@
+// Delta-driven incremental chase engine.
+//
+// The naive chase fixpoint rescans every dependency at every step and
+// restarts premise-homomorphism search from scratch over the whole
+// canonical database. This file replaces that inner loop with the
+// semi-naive delta discipline of Datalog engines, adapted to the chase:
+//
+//   - A DepIndex maps premise feature keys (schema names plus var-rooted
+//     shape keys, see core.FeatureKeys) to the dependencies whose premise
+//     mentions them. It is a pure function of the dependency set, built
+//     once and shared read-only across every chase of one backchase run.
+//
+//   - Each fixpoint iteration maintains per-dependency dirtiness. A
+//     dependency whose premise search came up empty is marked clean and
+//     skipped until the canonical database changes in a way that could
+//     give it a new premise homomorphism: a congruence union touching a
+//     class whose features intersect the premise's (reported by the
+//     closure's feature log), or a newly added binding whose range
+//     features intersect it.
+//
+//   - A dependency dirtied only by appended bindings gets a homomorphism
+//     search seeded at the delta: only assignments using at least one of
+//     the new target bindings are enumerated (visitHoms with deltaStart).
+//     Dependencies dirtied by a union — or the dependency that just fired
+//     — are re-searched in full.
+//
+// Why the result is byte-identical to the naive fixpoint, step for step:
+//
+//  1. Conclusion satisfaction is monotone. ExtendsToConclusion only ever
+//     flips from false to true as the canonical database grows, so a
+//     premise homomorphism that was once found satisfied can never make
+//     its dependency applicable again.
+//  2. Premise homomorphisms appear only through relevant changes. A
+//     membership or premise-condition test flips from false to true only
+//     when a union joins the classes of the two tested terms — and the
+//     transported premise term carries a subset of the dependency's own
+//     premise features (homomorphisms substitute variables for
+//     variables, preserving shape), so that union's feature log
+//     intersects the dependency's features — or when a new binding
+//     supplies a previously nonexistent target, whose range features are
+//     matched against the index directly (bare-variable or featureless
+//     ranges conservatively dirty everything).
+//  3. Hence a clean dependency has no applicable homomorphism, and a
+//     binding-delta-dirty dependency has applicable homomorphisms only
+//     among those using a delta binding; scanning dependencies in the
+//     naive order (EGDs before TGDs, slice order, visitHoms order) finds
+//     exactly the naive engine's next step.
+//
+// Derived congruences materialize lazily (interning a term can trigger
+// signature-collision unions), but they are consequences of equalities
+// already asserted: any search that needs one triggers it while testing,
+// so laziness never changes a test's outcome — it only adds conservative
+// entries to the feature log, which cost a spurious re-search at most.
+package chase
+
+import (
+	"context"
+
+	"cnb/internal/core"
+)
+
+// DepIndex is the premise feature index over a fixed dependency set: for
+// every dependency, the feature keys of its premise, inverted into a
+// feature -> dependencies map. Immutable (and safe for concurrent use)
+// after construction; per-run dirtiness lives in the chase run itself, so
+// one index serves every lattice state of a backchase and every
+// equivalence chase of an Optimize call.
+type DepIndex struct {
+	deps []*core.Dependency
+	// egds and tgds list dependency positions in original slice order,
+	// preserving the naive engine's EGD-before-TGD scan discipline.
+	egds, tgds []int
+	// feats[i] is the premise feature set of deps[i].
+	feats []map[string]bool
+	// byFeat inverts feats: feature key -> positions of dependencies whose
+	// premise carries it.
+	byFeat map[string][]int
+}
+
+// NewDepIndex builds the premise index for the dependency set. The slice
+// is captured, not copied; callers must not mutate it afterwards.
+func NewDepIndex(deps []*core.Dependency) *DepIndex {
+	ix := &DepIndex{
+		deps:   deps,
+		feats:  make([]map[string]bool, len(deps)),
+		byFeat: map[string][]int{},
+	}
+	for i, d := range deps {
+		if d.IsEGD() {
+			ix.egds = append(ix.egds, i)
+		} else {
+			ix.tgds = append(ix.tgds, i)
+		}
+		fs := d.PremiseFeatureKeys()
+		ix.feats[i] = fs
+		for f := range fs {
+			ix.byFeat[f] = append(ix.byFeat[f], i)
+		}
+	}
+	return ix
+}
+
+// Deps returns the indexed dependency slice (read-only).
+func (ix *DepIndex) Deps() []*core.Dependency { return ix.deps }
+
+// Len returns the number of indexed dependencies.
+func (ix *DepIndex) Len() int { return len(ix.deps) }
+
+// DepsForFeature returns the positions of the dependencies indexed under
+// the feature key, in dependency order. Exposed for the index-correctness
+// tests; the result must be treated as read-only.
+func (ix *DepIndex) DepsForFeature(feat string) []int { return ix.byFeat[feat] }
+
+// depState is the per-run dirtiness of one dependency.
+type depState struct {
+	// dirty marks the dependency as needing a premise search; clean
+	// dependencies are provably inapplicable (see the file comment).
+	dirty bool
+	// deltaStart, when >= 0, restricts the search to homomorphisms using
+	// at least one target binding of index >= deltaStart (the dependency
+	// was dirtied only by appended bindings since its last exhausted
+	// search). -1 means a full search is required.
+	deltaStart int
+}
+
+// markUnion dirties, for a full re-search, every dependency whose premise
+// features intersect the touched-feature set of this step's congruence
+// unions.
+func (ix *DepIndex) markUnion(st []depState, touched map[string]bool) {
+	for f := range touched {
+		for _, di := range ix.byFeat[f] {
+			st[di] = depState{dirty: true, deltaStart: -1}
+		}
+	}
+}
+
+// markNewBinding dirties dependencies that may match the newly appended
+// binding range, seeding their next search at the delta (binding index
+// from). Ranges with no features, or bare-variable ranges, conservatively
+// dirty every dependency. Union-dirty (full) states are never downgraded,
+// and an older (smaller) delta seed is kept.
+func (ix *DepIndex) markNewBinding(st []depState, rng *core.Term, from int) {
+	fs := rng.FeatureKeys()
+	if len(fs) == 0 || fs[core.FeatVar] {
+		for i := range st {
+			st[i] = depState{dirty: true, deltaStart: -1}
+		}
+		return
+	}
+	for f := range fs {
+		for _, di := range ix.byFeat[f] {
+			s := &st[di]
+			if !s.dirty {
+				*s = depState{dirty: true, deltaStart: from}
+			}
+			// Already dirty: a full (-1) search subsumes the delta, and an
+			// existing delta seed is from an earlier step, hence <= from.
+		}
+	}
+}
+
+// findApplicable scans the given dependency positions in order, skipping
+// clean ones, and returns the first dependency with a premise
+// homomorphism that does not extend to its conclusion. Dependencies
+// searched without success are marked clean. Mirrors the naive
+// findApplicable exactly on the dirty set.
+func (ix *DepIndex) findApplicable(cn *Canon, order []int, st []depState) (*core.Dependency, int, Hom) {
+	for _, di := range order {
+		s := &st[di]
+		if !s.dirty {
+			continue
+		}
+		d := ix.deps[di]
+		if cn.Metrics != nil {
+			cn.Metrics.DepSearches.Add(1)
+		}
+		var found Hom
+		cn.visitHoms(d.Premise, d.PremiseConds, nil, s.deltaStart, func(h Hom) bool {
+			if !cn.ExtendsToConclusion(d, h) {
+				found = h.Clone()
+				return true
+			}
+			return false
+		})
+		if found != nil {
+			return d, di, found
+		}
+		*s = depState{}
+	}
+	return nil, -1, nil
+}
+
+// ChaseIndexed is ChaseContext over a prebuilt dependency index. Results
+// and step sequences are byte-identical to the naive fixpoint; only the
+// amount of homomorphism-search work differs (Options.Metrics measures
+// it). Options.Naive selects the naive engine for differential testing.
+func ChaseIndexed(ctx context.Context, q *core.Query, ix *DepIndex, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Metrics != nil {
+		opts.Metrics.Runs.Add(1)
+	}
+	if opts.Naive {
+		return chaseNaive(ctx, q, ix, opts)
+	}
+	return chaseIncremental(ctx, q, ix, opts)
+}
+
+// chaseIncremental runs the delta-driven fixpoint.
+func chaseIncremental(ctx context.Context, q *core.Query, ix *DepIndex, opts Options) (*Result, error) {
+	cur := q.Clone()
+	res := &Result{}
+	cn := NewCanon(cur)
+	cn.Metrics = opts.Metrics
+	cn.CC.TrackFeatures()
+	// The input query's own facts are the initial delta: everything is
+	// dirty for a full search, and the feature log starts drained.
+	cn.CC.TakeTouched()
+	st := make([]depState, len(ix.deps))
+	for i := range st {
+		st[i] = depState{dirty: true, deltaStart: -1}
+	}
+	lastDep := ""
+	for steps := 0; ; steps++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if steps >= opts.MaxSteps {
+			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings), Dep: lastDep}
+		}
+		if len(cur.Bindings) > opts.MaxBindings {
+			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings), Dep: lastDep}
+		}
+		if _, _, clash := cn.CC.ConstantClash(); clash {
+			res.Query = cur
+			res.Inconsistent = true
+			return res, nil
+		}
+		dep, di, hom := ix.findApplicable(cn, ix.egds, st)
+		if dep == nil {
+			dep, di, hom = ix.findApplicable(cn, ix.tgds, st)
+		}
+		if dep == nil {
+			res.Query = cur
+			return res, nil
+		}
+		next := applyStep(cur, dep, hom)
+		oldBindings := len(cur.Bindings)
+		// Extend the canonical database with the new facts only.
+		for _, b := range next.Bindings[oldBindings:] {
+			cn.CC.Add(b.Range)
+			cn.CC.Add(core.V(b.Var))
+		}
+		for _, c := range next.Conds[len(cur.Conds):] {
+			cn.CC.Merge(c.L, c.R)
+		}
+		cur = next
+		cn.Q = cur
+		res.Steps = append(res.Steps, Step{Dep: dep.Name, Hom: hom})
+		lastDep = dep.Name
+		if opts.Metrics != nil {
+			opts.Metrics.ChaseSteps.Add(1)
+		}
+		// Delta bookkeeping. The feature log covers every union since the
+		// last take — the step's merges plus any derived unions triggered
+		// while searching (conservative, see the file comment) — and the
+		// appended bindings are matched against the index directly. The
+		// fired dependency itself was left mid-enumeration, so it needs a
+		// full re-search regardless of features.
+		if touched := cn.CC.TakeTouched(); touched != nil {
+			ix.markUnion(st, touched)
+		}
+		for _, b := range cur.Bindings[oldBindings:] {
+			ix.markNewBinding(st, b.Range, oldBindings)
+		}
+		st[di] = depState{dirty: true, deltaStart: -1}
+	}
+}
+
+// chaseNaive is the textbook fixpoint (every dependency rescanned, full
+// homomorphism search each step), kept as the differential reference and
+// the baseline E15 measures against.
+func chaseNaive(ctx context.Context, q *core.Query, ix *DepIndex, opts Options) (*Result, error) {
+	cur := q.Clone()
+	res := &Result{}
+	egds, tgds := splitEGDs(ix.deps)
+	cn := NewCanon(cur)
+	cn.Metrics = opts.Metrics
+	cn.LinearScan = true // measure the full backtracking cost
+	lastDep := ""
+	for steps := 0; ; steps++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if steps >= opts.MaxSteps {
+			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings), Dep: lastDep}
+		}
+		if len(cur.Bindings) > opts.MaxBindings {
+			return nil, &ErrBudget{Steps: steps, Bindings: len(cur.Bindings), Dep: lastDep}
+		}
+		if _, _, clash := cn.CC.ConstantClash(); clash {
+			res.Query = cur
+			res.Inconsistent = true
+			return res, nil
+		}
+		dep, hom := findApplicableMetered(cn, egds)
+		if dep == nil {
+			dep, hom = findApplicableMetered(cn, tgds)
+		}
+		if dep == nil {
+			res.Query = cur
+			return res, nil
+		}
+		next := applyStep(cur, dep, hom)
+		// Extend the canonical database with the new facts only.
+		for _, b := range next.Bindings[len(cur.Bindings):] {
+			cn.CC.Add(b.Range)
+			cn.CC.Add(core.V(b.Var))
+		}
+		for _, c := range next.Conds[len(cur.Conds):] {
+			cn.CC.Merge(c.L, c.R)
+		}
+		cur = next
+		cn.Q = cur
+		res.Steps = append(res.Steps, Step{Dep: dep.Name, Hom: hom})
+		lastDep = dep.Name
+		if opts.Metrics != nil {
+			opts.Metrics.ChaseSteps.Add(1)
+		}
+	}
+}
+
+// findApplicableMetered is findApplicable with per-dependency search
+// counting, so naive-vs-incremental comparisons measure the same events.
+func findApplicableMetered(cn *Canon, deps []*core.Dependency) (*core.Dependency, Hom) {
+	for _, d := range deps {
+		if cn.Metrics != nil {
+			cn.Metrics.DepSearches.Add(1)
+		}
+		var found Hom
+		cn.VisitHoms(d.Premise, d.PremiseConds, nil, func(h Hom) bool {
+			if !cn.ExtendsToConclusion(d, h) {
+				found = h.Clone()
+				return true
+			}
+			return false
+		})
+		if found != nil {
+			return d, found
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,289 @@
+package chase
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cnb/internal/core"
+	"cnb/internal/workload"
+)
+
+// assertSameChase runs the naive and the incremental engine on the same
+// input and requires byte-identical outcomes: same error class, same
+// inconsistency flag, same chased query rendering, and the same step
+// sequence (dependency names and homomorphism keys) — the strongest form
+// of the differential oracle, which also pins the step counts the metrics
+// report.
+func assertSameChase(t *testing.T, label string, q *core.Query, deps []*core.Dependency, opts Options) {
+	t.Helper()
+	naiveOpts := opts
+	naiveOpts.Naive = true
+	naiveOpts.Metrics = &Metrics{}
+	incOpts := opts
+	incOpts.Naive = false
+	incOpts.Metrics = &Metrics{}
+	rn, errN := Chase(q, deps, naiveOpts)
+	ri, errI := Chase(q, deps, incOpts)
+	if (errN == nil) != (errI == nil) {
+		t.Fatalf("%s: error mismatch: naive=%v incremental=%v", label, errN, errI)
+	}
+	if errN != nil {
+		bn, okN := errN.(*ErrBudget)
+		bi, okI := errI.(*ErrBudget)
+		if okN != okI {
+			t.Fatalf("%s: error type mismatch: naive=%T incremental=%T", label, errN, errI)
+		}
+		if okN && (bn.Steps != bi.Steps || bn.Dep != bi.Dep) {
+			t.Fatalf("%s: budget mismatch: naive=%+v incremental=%+v", label, bn, bi)
+		}
+		return
+	}
+	if rn.Inconsistent != ri.Inconsistent {
+		t.Fatalf("%s: inconsistency mismatch: naive=%v incremental=%v", label, rn.Inconsistent, ri.Inconsistent)
+	}
+	if got, want := ri.Query.String(), rn.Query.String(); got != want {
+		t.Fatalf("%s: chased query differs:\nnaive:       %s\nincremental: %s", label, want, got)
+	}
+	if len(rn.Steps) != len(ri.Steps) {
+		t.Fatalf("%s: step count differs: naive=%d incremental=%d", label, len(rn.Steps), len(ri.Steps))
+	}
+	for i := range rn.Steps {
+		if rn.Steps[i].Dep != ri.Steps[i].Dep || rn.Steps[i].Hom.Key() != ri.Steps[i].Hom.Key() {
+			t.Fatalf("%s: step %d differs: naive=%s/%s incremental=%s/%s", label, i,
+				rn.Steps[i].Dep, rn.Steps[i].Hom.Key(), ri.Steps[i].Dep, ri.Steps[i].Hom.Key())
+		}
+	}
+	if ns, is := naiveOpts.Metrics.ChaseSteps.Load(), incOpts.Metrics.ChaseSteps.Load(); ns != is {
+		t.Fatalf("%s: metrics step count differs: naive=%d incremental=%d", label, ns, is)
+	}
+}
+
+// mutateQuery derives a chase input from a workload query: occasionally
+// drop a condition (the chase re-derives structure differently) or equate
+// two row variables (exercises EGD-heavy merge cascades in the delta
+// bookkeeping).
+func mutateQuery(r *rand.Rand, q *core.Query) *core.Query {
+	m := q.Clone()
+	if len(m.Conds) > 0 && r.Intn(3) == 0 {
+		i := r.Intn(len(m.Conds))
+		m.Conds = append(m.Conds[:i:i], m.Conds[i+1:]...)
+	}
+	if len(m.Bindings) >= 2 && r.Intn(3) == 0 {
+		a := m.Bindings[r.Intn(len(m.Bindings))].Var
+		b := m.Bindings[r.Intn(len(m.Bindings))].Var
+		if a != b {
+			m.Conds = append(m.Conds, core.Cond{L: core.V(a), R: core.V(b)})
+		}
+	}
+	if m.Validate() != nil {
+		return q.Clone()
+	}
+	return m
+}
+
+// TestIncrementalChaseDifferentialRandomized is the naive-vs-incremental
+// gate over the chain/star/snowflake dependency families: >= 100
+// randomized cases, each requiring byte-identical chase results and step
+// sequences. Covers terminating chases, EGD merge cascades (mutated
+// queries), and budget-tripping runs.
+func TestIncrementalChaseDifferentialRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cases := 0
+
+	// Chain family: n-way joins with adjacent-pair views.
+	for n := 2; n <= 8; n++ {
+		for views := 1; views < n && views <= 4; views++ {
+			c, err := workload.NewChain(n, views)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("chain n=%d v=%d", n, views)
+			opts := Options{MaxSteps: 2048, MaxBindings: 2048}
+			assertSameChase(t, label, c.Q, c.Deps, opts)
+			assertSameChase(t, label+" mutated", mutateQuery(r, c.Q), c.Deps, opts)
+			cases += 2
+		}
+	}
+
+	// Star/snowflake family: random configurations (indexes, views,
+	// outriggers, FK constraints) via the calibration-suite generator.
+	for i := 0; i < 70; i++ {
+		cfg, _ := workload.RandomStar(r)
+		s, err := workload.NewStar(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("star case %d (%+v)", i, cfg)
+		assertSameChase(t, label, s.Q, s.Deps, Options{})
+		assertSameChase(t, label+" mutated", mutateQuery(r, s.Q), s.Deps, Options{})
+		cases += 2
+	}
+
+	// Budget-tripping runs: both engines must trip at the same step with
+	// the same firing dependency.
+	inf := &core.Dependency{
+		Name:            "inf",
+		Premise:         []core.Binding{{Var: "x", Range: core.Name("R")}},
+		Conclusion:      []core.Binding{{Var: "y", Range: core.Name("R")}},
+		ConclusionConds: []core.Cond{{L: core.Prj(core.V("y"), "Next"), R: core.V("x")}},
+	}
+	divergent := &core.Query{
+		Out:      core.C(true),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+	}
+	assertSameChase(t, "budget", divergent, []*core.Dependency{inf}, Options{MaxSteps: 20})
+	cases++
+
+	if cases < 100 {
+		t.Fatalf("differential suite ran only %d cases, want >= 100", cases)
+	}
+}
+
+// TestDepIndexPremiseUnderMultipleNames pins the index shape: a
+// dependency whose premise mentions several schema names (a materialized
+// view over a join) must be reachable from every one of them, and a
+// dependency whose premise atoms are dictionary-shaped must be indexed
+// under both the dictionary name and the var-rooted shape keys of its
+// condition sides.
+func TestDepIndexPremiseUnderMultipleNames(t *testing.T) {
+	v, n, prj := core.V, core.Name, core.Prj
+	viewFwd := &core.Dependency{
+		Name: "PhiV",
+		Premise: []core.Binding{
+			{Var: "f", Range: n("Fact")},
+			{Var: "d", Range: n("D0")},
+		},
+		PremiseConds: []core.Cond{{L: prj(v("f"), "K0"), R: prj(v("d"), "K")}},
+		Conclusion:   []core.Binding{{Var: "w", Range: n("V0")}},
+		ConclusionConds: []core.Cond{
+			{L: v("w"), R: core.Struct(core.SF("M", prj(v("f"), "M")))},
+		},
+	}
+	idxInv := &core.Dependency{
+		Name: "PhiSIInv",
+		Premise: []core.Binding{
+			{Var: "k", Range: core.Dom(n("SI"))},
+			{Var: "s", Range: core.Lk(n("SI"), v("k"))},
+		},
+		Conclusion:      []core.Binding{{Var: "r", Range: n("Fact")}},
+		ConclusionConds: []core.Cond{{L: v("k"), R: prj(v("r"), "K0")}, {L: v("r"), R: v("s")}},
+	}
+	ix := NewDepIndex([]*core.Dependency{viewFwd, idxInv})
+
+	has := func(feat string, dep int) bool {
+		for _, di := range ix.DepsForFeature(feat) {
+			if di == dep {
+				return true
+			}
+		}
+		return false
+	}
+	// The view premise is reachable from both joined relations and from
+	// the var-rooted projection shapes of its join condition.
+	for _, feat := range []string{"!Fact", "!D0", ".K0", ".K"} {
+		if !has(feat, 0) {
+			t.Errorf("view dependency not indexed under %q", feat)
+		}
+	}
+	// Conclusion-only names must NOT index the premise: the view output
+	// V0 cannot enable a premise match.
+	if has("!V0", 0) {
+		t.Error("view dependency indexed under its conclusion name V0")
+	}
+	// The index-inverse premise mentions SI twice (dom(SI) and SI[k]):
+	// indexed under the name exactly once.
+	if got := ix.DepsForFeature("!SI"); len(got) != 1 || got[0] != 1 {
+		t.Errorf("DepsForFeature(!SI) = %v, want exactly [1]", got)
+	}
+	for _, di := range ix.DepsForFeature("!Fact") {
+		if di == 1 {
+			t.Error("index-inverse dependency indexed under conclusion name Fact")
+		}
+	}
+}
+
+// TestDepIndexDirtyOnEveryPremiseName asserts the semantics the index
+// exists for: a chase step touching ANY name of a multi-name premise
+// re-enables the dependency. The view can only fire after both Fact and
+// D0 facts exist; deriving the D0 fact last (through an FK constraint)
+// must still wake the view dependency up.
+func TestDepIndexDirtyOnEveryPremiseName(t *testing.T) {
+	v, n, prj := core.V, core.Name, core.Prj
+	ric := &core.Dependency{
+		Name:            "RIC",
+		Premise:         []core.Binding{{Var: "f", Range: n("Fact")}},
+		Conclusion:      []core.Binding{{Var: "d", Range: n("D0")}},
+		ConclusionConds: []core.Cond{{L: prj(v("f"), "K0"), R: prj(v("d"), "K")}},
+	}
+	viewFwd := &core.Dependency{
+		Name: "PhiV",
+		Premise: []core.Binding{
+			{Var: "f", Range: n("Fact")},
+			{Var: "d", Range: n("D0")},
+		},
+		PremiseConds: []core.Cond{{L: prj(v("f"), "K0"), R: prj(v("d"), "K")}},
+		Conclusion:   []core.Binding{{Var: "w", Range: n("V0")}},
+		ConclusionConds: []core.Cond{
+			{L: v("w"), R: core.Struct(core.SF("M", prj(v("f"), "M")))},
+		},
+	}
+	q := &core.Query{
+		Out:      core.C(true),
+		Bindings: []core.Binding{{Var: "f", Range: n("Fact")}},
+	}
+	deps := []*core.Dependency{viewFwd, ric}
+	res, err := Chase(q, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := map[string]bool{}
+	for _, s := range res.Steps {
+		fired[s.Dep] = true
+	}
+	// The view dependency is scanned first (no D0 fact yet: clean), RIC
+	// fires adding the D0 binding, and the delta must re-dirty the view
+	// through the !D0 feature so it fires next.
+	if !fired["RIC"] || !fired["PhiV"] {
+		t.Fatalf("expected RIC then PhiV to fire, got steps %v", res.Steps)
+	}
+	if res.Steps[0].Dep != "RIC" || res.Steps[1].Dep != "PhiV" {
+		t.Fatalf("step order = %v, want RIC before PhiV", res.Steps)
+	}
+	assertSameChase(t, "view wakeup", q, deps, Options{})
+}
+
+// TestErrBudgetReportsFiringDep asserts the diagnosable-budget satellite:
+// a non-terminating dependency set names the runaway dependency in both
+// the typed error and its message.
+func TestErrBudgetReportsFiringDep(t *testing.T) {
+	inf := &core.Dependency{
+		Name:            "runaway_dep",
+		Premise:         []core.Binding{{Var: "x", Range: core.Name("R")}},
+		Conclusion:      []core.Binding{{Var: "y", Range: core.Name("R")}},
+		ConclusionConds: []core.Cond{{L: core.Prj(core.V("y"), "Next"), R: core.V("x")}},
+	}
+	q := &core.Query{
+		Out:      core.C(true),
+		Bindings: []core.Binding{{Var: "r", Range: core.Name("R")}},
+	}
+	for _, naive := range []bool{false, true} {
+		_, err := Chase(q, []*core.Dependency{inf}, Options{MaxSteps: 10, Naive: naive})
+		be, ok := err.(*ErrBudget)
+		if !ok {
+			t.Fatalf("naive=%v: error = %v, want *ErrBudget", naive, err)
+		}
+		if be.Dep != "runaway_dep" {
+			t.Errorf("naive=%v: ErrBudget.Dep = %q, want runaway_dep", naive, be.Dep)
+		}
+		if !strings.Contains(err.Error(), "runaway_dep") {
+			t.Errorf("naive=%v: message %q does not name the firing dependency", naive, err)
+		}
+	}
+	// Budget exhausted before any step: no dependency to blame.
+	_, err := Chase(q, nil, Options{MaxBindings: -1})
+	if be, ok := err.(*ErrBudget); !ok || be.Dep != "" {
+		t.Errorf("stepless budget trip: err = %v, want ErrBudget with empty Dep", err)
+	}
+}

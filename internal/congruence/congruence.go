@@ -64,6 +64,19 @@ type Closure struct {
 	projsOn   map[int][]int  // class rep -> projection nodes whose base is in the class
 
 	pending [][2]int
+
+	// version counts unions performed. Class representatives are stable
+	// between equal versions (path compression never changes them), which
+	// is what lets the chase's rep-keyed target index detect staleness.
+	version uint64
+
+	// Feature tracking for the incremental chase (nil maps = disabled, the
+	// default). feats holds the union of core.Term feature keys over each
+	// class; touched accumulates the features of every class changed by a
+	// union since the last TakeTouched. See core.FeatureKeys for why these
+	// two sets over-approximate "which premise shapes may newly match".
+	feats   map[int]map[string]bool // class rep -> feature keys of members
+	touched map[string]bool
 }
 
 // New returns an empty closure.
@@ -85,7 +98,8 @@ func New() *Closure {
 // Clone only reads the receiver, so concurrent Clones of one closure are
 // safe as long as no concurrent mutation runs; see the package comment.
 func (c *Closure) Clone() *Closure {
-	return &Closure{
+	n := &Closure{
+		version:   c.version,
 		nodes:     append([]node(nil), c.nodes...),
 		byKey:     maps.Clone(c.byKey),
 		parent:    append([]int(nil), c.parent...),
@@ -96,6 +110,53 @@ func (c *Closure) Clone() *Closure {
 		projsOn:   cloneIntSliceMap(c.projsOn),
 		pending:   append([][2]int(nil), c.pending...),
 	}
+	if c.feats != nil {
+		n.feats = make(map[int]map[string]bool, len(c.feats))
+		for r, fs := range c.feats {
+			n.feats[r] = maps.Clone(fs)
+		}
+		n.touched = maps.Clone(c.touched)
+	}
+	return n
+}
+
+// TrackFeatures enables union feature logging: from now on every union
+// records the feature keys of both merged classes into a touched set that
+// TakeTouched drains. Existing nodes are indexed retroactively, so
+// enabling on a populated closure is sound. Used by the incremental chase
+// to decide which dependencies a chase step may have (re-)enabled.
+func (c *Closure) TrackFeatures() {
+	if c.feats != nil {
+		return
+	}
+	c.feats = make(map[int]map[string]bool, len(c.nodes))
+	c.touched = map[string]bool{}
+	for id := range c.nodes {
+		c.noteFeatures(id)
+	}
+}
+
+// TakeTouched returns the feature keys of every class changed by a union
+// since the last call and resets the set. Returns nil while feature
+// tracking is disabled or when nothing was touched.
+func (c *Closure) TakeTouched() map[string]bool {
+	if c.feats == nil || len(c.touched) == 0 {
+		return nil
+	}
+	t := c.touched
+	c.touched = map[string]bool{}
+	return t
+}
+
+// noteFeatures registers a node's term features with its current class.
+func (c *Closure) noteFeatures(id int) {
+	r := c.find(id)
+	fs := c.feats[r]
+	if fs == nil {
+		fs = map[string]bool{}
+		c.feats[r] = fs
+	}
+	c.nodes[id].term.CollectFeatureKeys(fs)
 }
 
 func cloneIntSliceMap(m map[int][]int) map[int][]int {
@@ -153,6 +214,9 @@ func (c *Closure) intern(t *core.Term) int {
 	c.parent = append(c.parent, id)
 	c.rank = append(c.rank, 0)
 	c.byKey[key] = id
+	if c.feats != nil {
+		c.noteFeatures(id)
+	}
 
 	// Register with parents-of lists and the signature table.
 	for _, a := range n.args {
@@ -242,6 +306,22 @@ func (c *Closure) union(a, b int) {
 	c.parent[rb] = ra
 	if c.rank[ra] == c.rank[rb] {
 		c.rank[ra]++
+	}
+	c.version++
+	if c.feats != nil {
+		dst := c.feats[ra]
+		if dst == nil {
+			dst = map[string]bool{}
+			c.feats[ra] = dst
+		}
+		for f := range dst {
+			c.touched[f] = true
+		}
+		for f := range c.feats[rb] {
+			dst[f] = true
+			c.touched[f] = true
+		}
+		delete(c.feats, rb)
 	}
 
 	// Recompute signatures of nodes that used a member of rb as a child.
@@ -352,6 +432,11 @@ func (c *Closure) Terms() []*core.Term {
 
 // Len returns the number of interned terms.
 func (c *Closure) Len() int { return len(c.nodes) }
+
+// Version returns the union counter. Two equal Versions guarantee every
+// class representative is unchanged in between; any union (asserted or
+// derived) increments it.
+func (c *Closure) Version() uint64 { return c.version }
 
 // Classes returns the congruence classes as slices of terms, each sorted
 // by HashKey, the classes sorted by their first member. Useful for

@@ -1,0 +1,104 @@
+package core
+
+// Feature keys summarize which parts of the canonical database a term can
+// interact with during homomorphism search. The incremental chase uses
+// them in two places that must agree:
+//
+//   - the dependency index maps each feature of a dependency's premise
+//     (ranges and condition sides) to the dependency, and
+//   - the congruence closure logs the features of every class touched by a
+//     union, and the chase adds the features of newly added binding
+//     ranges.
+//
+// A dependency can become newly applicable only when a homomorphism test
+// — "is this target range congruent to the transported premise range",
+// "does this transported premise condition hold" — flips from false to
+// true. Both flips require a union joining the congruence classes of the
+// two tested terms (or a brand-new binding supplying a new target), and
+// the transported premise term has exactly the features of the premise
+// term it was built from: a homomorphism only substitutes variables for
+// variables, so the structural shape is preserved. Hence intersecting the
+// delta's features with a dependency's premise features over-approximates
+// "this dependency may have gained a premise homomorphism".
+//
+// The keys:
+//
+//	"!N"   — the schema name N occurs in the term
+//	".F"   — a projection .F whose base chain bottoms out in a variable
+//	"dom"  — dom(P) with P rooted in a variable
+//	"[]"   — a lookup P[k] / P{k} with P rooted in a variable
+//	"?"    — the term is a bare variable
+//
+// Variables occurring inside compound terms contribute no key of their
+// own: only the innermost var-rooted operator can participate in a
+// congruence signature, and the "?" key is reserved for tests between
+// bare variables (which only arise from bare-variable premise ranges or
+// condition sides).
+const (
+	FeatVar    = "?"
+	FeatDom    = "dom"
+	FeatLookup = "[]"
+)
+
+// FeatureKeys returns the feature keys of the term (see the package-level
+// comment above). The result is a freshly allocated set.
+func (t *Term) FeatureKeys() map[string]bool {
+	out := make(map[string]bool, 2)
+	t.collectFeatures(true, out)
+	return out
+}
+
+// CollectFeatureKeys adds the term's feature keys to out.
+func (t *Term) CollectFeatureKeys(out map[string]bool) {
+	t.collectFeatures(true, out)
+}
+
+func (t *Term) collectFeatures(top bool, out map[string]bool) {
+	if t == nil {
+		return
+	}
+	switch t.Kind {
+	case KVar:
+		if top {
+			out[FeatVar] = true
+		}
+	case KName:
+		out["!"+t.Name] = true
+	case KProj:
+		if t.Base.Root().Kind == KVar {
+			out["."+t.Name] = true
+		}
+		t.Base.collectFeatures(false, out)
+	case KDom:
+		if t.Base.Root().Kind == KVar {
+			out[FeatDom] = true
+		}
+		t.Base.collectFeatures(false, out)
+	case KLookup:
+		if t.Base.Root().Kind == KVar {
+			out[FeatLookup] = true
+		}
+		t.Base.collectFeatures(false, out)
+		t.Key.collectFeatures(false, out)
+	case KStruct:
+		for _, f := range t.Fields {
+			f.Term.collectFeatures(false, out)
+		}
+	}
+}
+
+// PremiseFeatureKeys returns the feature keys of the dependency's premise:
+// the union over its premise ranges and premise condition sides, each
+// treated as a top-level term. These are the keys under which the
+// incremental chase indexes the dependency.
+func (d *Dependency) PremiseFeatureKeys() map[string]bool {
+	out := make(map[string]bool, 4)
+	for _, b := range d.Premise {
+		b.Range.CollectFeatureKeys(out)
+	}
+	for _, c := range d.PremiseConds {
+		c.L.CollectFeatureKeys(out)
+		c.R.CollectFeatureKeys(out)
+	}
+	return out
+}

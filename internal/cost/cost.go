@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"cnb/internal/congruence"
 	"cnb/internal/core"
 	"cnb/internal/instance"
 )
@@ -187,6 +188,13 @@ func (s *Stats) fieldFanout(field string) float64 {
 // Estimate computes the estimated cost and output cardinality of a plan,
 // evaluating its bindings in the order given (the plan's join order).
 func (s *Stats) Estimate(q *core.Query) (costTotal, outCard float64) {
+	return s.estimate(q, s.condSelectivities(q))
+}
+
+// estimate is Estimate with precomputed per-condition selectivities:
+// selectivities are independent of binding order, so reorder searches
+// compute them once per plan instead of once per permutation.
+func (s *Stats) estimate(q *core.Query, sels []float64) (costTotal, outCard float64) {
 	mult := 1.0 // running multiplicity of the loop nest
 	total := 0.0
 
@@ -226,7 +234,7 @@ func (s *Stats) Estimate(q *core.Query) (costTotal, outCard float64) {
 		for ci, c := range q.Conds {
 			if readyAt[ci] == i {
 				total += mult * s.condEvalCost(c)
-				mult *= s.selectivity(q, c)
+				mult *= sels[ci]
 			}
 		}
 		if mult < 1e-9 {
@@ -294,6 +302,103 @@ func (s *Stats) lookupCount(t *core.Term) float64 {
 		return n
 	}
 	return 0
+}
+
+// condSelectivities computes the selectivity of every condition of the
+// plan, in condition order. Selectivities depend only on the condition
+// and the binding ranges — never on the binding order — so one pass
+// serves Estimate and every reorder trial. Row equalities the plan's own
+// congruence closure proves non-filtering get selectivity 1 (see
+// unitRowEquality); everything else falls back to the distinct-count
+// heuristics of selectivity.
+func (s *Stats) condSelectivities(q *core.Query) []float64 {
+	sels := make([]float64, len(q.Conds))
+	var cc *congruence.Closure // built lazily: only row equalities need it
+	for i, c := range q.Conds {
+		if s.unitRowEquality(q, c, &cc) {
+			sels[i] = 1
+			continue
+		}
+		sels[i] = s.selectivity(q, c)
+	}
+	return sels
+}
+
+// unitRowEquality reports whether the var=var condition x = y is a
+// selectivity-1 index-membership guard: y is bound to a range that the
+// plan's congruence closure proves congruent to a lookup M{κ} (or M[κ])
+// whose key κ is congruent to a term over x alone, and M's buckets hold
+// at most one entry (EntryFanout <= 1, the estimator's default for
+// unknown dictionaries). Then the bucket y iterates is keyed by x's own
+// attribute and, being a unit bucket of an index the chase proved to
+// contain x's row, consists of exactly the row equated with x — the
+// equality is chase residue that filters nothing, so DefaultSelectivity
+// would understate the multiplicity tenfold and misrank near-ties (the
+// PR 3 calibration finding, e.g. d0 = t_1 with t_1 in DK0{d0.K}).
+//
+// ccp caches the lazily built closure across the conditions of one plan.
+func (s *Stats) unitRowEquality(q *core.Query, c core.Cond, ccp **congruence.Closure) bool {
+	if c.L.Kind != core.KVar || c.R.Kind != core.KVar || c.L.Name == c.R.Name {
+		return false
+	}
+	rangeOf := func(v string) *core.Term {
+		for _, b := range q.Bindings {
+			if b.Var == v {
+				return b.Range
+			}
+		}
+		return nil
+	}
+	closure := func() *congruence.Closure {
+		if *ccp == nil {
+			cc := congruence.New()
+			for _, t := range q.AllTerms() {
+				cc.Add(t)
+			}
+			for _, cd := range q.Conds {
+				cc.Merge(cd.L, cd.R)
+			}
+			*ccp = cc
+		}
+		return *ccp
+	}
+	keyedByX := func(key *core.Term, x string) bool {
+		cands := []*core.Term{key}
+		if cc := closure(); cc.Contains(key) {
+			cands = cc.ClassMembers(key)
+		}
+		for _, k := range cands {
+			vars := k.Vars()
+			if len(vars) == 1 && vars[x] {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(x, y string) bool {
+		rng := rangeOf(y)
+		if rng == nil {
+			return false
+		}
+		cands := []*core.Term{rng}
+		if cc := closure(); cc.Contains(rng) {
+			cands = cc.ClassMembers(rng)
+		}
+		for _, m := range cands {
+			if m.Kind != core.KLookup {
+				continue
+			}
+			root := m.Base.Root()
+			if root.Kind != core.KName || s.entryFanout(root.Name) > 1 {
+				continue
+			}
+			if keyedByX(m.Key, x) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(c.L.Name, c.R.Name) || check(c.R.Name, c.L.Name)
 }
 
 // selectivity estimates the filtering power of an equality condition.
@@ -366,12 +471,14 @@ func (s *Stats) reorderExhaustive(q *core.Query) *core.Query {
 	order := make([]core.Binding, 0, n)
 	var best *core.Query
 	bestCost := math.Inf(1)
+	// Selectivities are order-independent; share them across permutations.
+	sels := s.condSelectivities(q)
 	var rec func()
 	rec = func() {
 		if len(order) == n {
 			cand := q.Clone()
 			cand.Bindings = append([]core.Binding(nil), order...)
-			c, _ := s.Estimate(cand)
+			c, _ := s.estimate(cand, sels)
 			if c < bestCost {
 				bestCost = c
 				best = cand
@@ -408,6 +515,13 @@ func (s *Stats) reorderExhaustive(q *core.Query) *core.Query {
 // reorderGreedy picks, at each step, the valid next binding with the
 // smallest filtered iteration count.
 func (s *Stats) reorderGreedy(q *core.Query) *core.Query {
+	return s.reorderGreedySels(q, s.condSelectivities(q))
+}
+
+// reorderGreedySels is reorderGreedy with precomputed selectivities, so
+// EstimateQuick shares one computation between the reorder and the final
+// estimate (the cost-bounded backchase calls it per enqueued state).
+func (s *Stats) reorderGreedySels(q *core.Query, sels []float64) *core.Query {
 	n := len(q.Bindings)
 	used := make([]bool, n)
 	bound := map[string]bool{}
@@ -437,9 +551,9 @@ func (s *Stats) reorderGreedy(q *core.Query) *core.Query {
 			for v := range bound {
 				trialBound[v] = true
 			}
-			for _, c := range q.Conds {
+			for ci, c := range q.Conds {
 				if condReady(c, trialBound) && !condReady(c, bound) {
-					score *= s.selectivity(q, c)
+					score *= sels[ci]
 				}
 			}
 			if score < bestCost {
@@ -489,11 +603,12 @@ func (s *Stats) EstimateBest(q *core.Query) float64 {
 // pruning bound — just not always the cheapest order the final
 // conventional-optimization phase will find.
 func (s *Stats) EstimateQuick(q *core.Query) float64 {
+	sels := s.condSelectivities(q)
 	if len(q.Bindings) <= 1 {
-		c, _ := s.Estimate(q)
+		c, _ := s.estimate(q, sels)
 		return c
 	}
-	c, _ := s.Estimate(s.reorderGreedy(q))
+	c, _ := s.estimate(s.reorderGreedySels(q, sels), sels)
 	return c
 }
 

@@ -109,8 +109,14 @@ func OptimizeContext(ctx context.Context, q *core.Query, opts Options) (*Result,
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
 	}
-	// Phase 1: chase.
-	chased, err := chase.ChaseContext(ctx, q, opts.Deps, opts.Chase)
+	// Phase 1: chase. The premise index is a pure function of the
+	// dependency set, so one index serves the chase phase and — via
+	// Backchase.Index — every equivalence chase of the backchase lattice.
+	depIndex := opts.Backchase.Index
+	if depIndex == nil {
+		depIndex = chase.NewDepIndex(opts.Deps)
+	}
+	chased, err := chase.ChaseIndexed(ctx, q, depIndex, opts.Chase)
 	if err != nil {
 		return nil, fmt.Errorf("optimizer: chase: %w", err)
 	}
@@ -131,6 +137,7 @@ func OptimizeContext(ctx context.Context, q *core.Query, opts Options) (*Result,
 	// Phase 2: backchase.
 	bopts := opts.Backchase
 	bopts.Chase = opts.Chase
+	bopts.Index = depIndex
 	if bopts.Parallelism == 0 {
 		bopts.Parallelism = opts.Parallelism
 	}
