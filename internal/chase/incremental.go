@@ -35,11 +35,17 @@
 //     when a union joins the classes of the two tested terms — and the
 //     transported premise term carries a subset of the dependency's own
 //     premise features (homomorphisms substitute variables for
-//     variables, preserving shape), so that union's feature log
+//     variables, preserving shape; a repeated premise variable's var≡var
+//     witness test is covered by indexing the dependency under FeatVar,
+//     see core.PremiseFeatureKeys), so that union's feature log
 //     intersects the dependency's features — or when a new binding
-//     supplies a previously nonexistent target, whose range features are
-//     matched against the index directly (bare-variable or featureless
-//     ranges conservatively dirty everything).
+//     supplies a previously nonexistent target. The membership test
+//     compares the new range to the transported premise range up to
+//     congruence, so the range is matched against the index through the
+//     feature keys of its whole congruence class (which contain the
+//     features of every interned term it can stand in for), not just its
+//     own term features; bare-variable or featureless ranges
+//     conservatively dirty everything.
 //  3. Hence a clean dependency has no applicable homomorphism, and a
 //     binding-delta-dirty dependency has applicable homomorphisms only
 //     among those using a delta binding; scanning dependencies in the
@@ -56,6 +62,7 @@ package chase
 import (
 	"context"
 
+	"cnb/internal/congruence"
 	"cnb/internal/core"
 )
 
@@ -136,16 +143,29 @@ func (ix *DepIndex) markUnion(st []depState, touched map[string]bool) {
 
 // markNewBinding dirties dependencies that may match the newly appended
 // binding range, seeding their next search at the delta (binding index
-// from). Ranges with no features, or bare-variable ranges, conservatively
-// dirty every dependency. Union-dirty (full) states are never downgraded,
-// and an older (smaller) delta seed is kept.
-func (ix *DepIndex) markNewBinding(st []depState, rng *core.Term, from int) {
+// from). Premise membership tests compare ranges up to congruence, so the
+// range's term features are unioned with the feature keys of its whole
+// congruence class (the range must already be interned in cc): a binding
+// with range d.A can satisfy a premise atom v in d.B when d.A ≡ d.B, and
+// only the class features carry ".B". When the class contains a bare
+// variable the union includes FeatVar, waking dependencies with
+// bare-variable premise shapes. Ranges with no features, or bare-variable
+// ranges, conservatively dirty every dependency. Union-dirty (full)
+// states are never downgraded, and an older (smaller) delta seed is kept.
+func (ix *DepIndex) markNewBinding(st []depState, cc *congruence.Closure, rng *core.Term, from int) {
 	fs := rng.FeatureKeys()
-	if len(fs) == 0 || fs[core.FeatVar] {
+	// The conservative fallback is decided on the range's own term
+	// features, BEFORE the class union: a range that is featureless on
+	// its own terms can stand in for any premise shape, and a featured
+	// class must not talk it out of dirtying everything.
+	if len(fs) == 0 || rng.Kind == core.KVar {
 		for i := range st {
 			st[i] = depState{dirty: true, deltaStart: -1}
 		}
 		return
+	}
+	for f := range cc.ClassFeatures(rng) {
+		fs[f] = true
 	}
 	for f := range fs {
 		for _, di := range ix.byFeat[f] {
@@ -270,7 +290,7 @@ func chaseIncremental(ctx context.Context, q *core.Query, ix *DepIndex, opts Opt
 			ix.markUnion(st, touched)
 		}
 		for _, b := range cur.Bindings[oldBindings:] {
-			ix.markNewBinding(st, b.Range, oldBindings)
+			ix.markNewBinding(st, cn.CC, b.Range, oldBindings)
 		}
 		st[di] = depState{dirty: true, deltaStart: -1}
 	}

@@ -254,6 +254,235 @@ func TestDepIndexDirtyOnEveryPremiseName(t *testing.T) {
 	assertSameChase(t, "view wakeup", q, deps, Options{})
 }
 
+// TestDeltaDirtyUpToCongruence is the regression for the premature
+// fixpoint found in review: a new binding's range can satisfy a premise
+// membership test through a term that is congruent but structurally
+// different (here d0.A ≡ d0.B via the query condition), so the delta
+// must be matched against the feature keys of the range's whole
+// congruence class, not just the range term itself. With term-level
+// features only, R (indexed under ".B") is never re-dirtied by the
+// binding u_1 in d0.A that P adds, and the incremental engine stops
+// after 1 step while the naive engine takes 2.
+func TestDeltaDirtyUpToCongruence(t *testing.T) {
+	v, n, prj := core.V, core.Name, core.Prj
+	q := &core.Query{
+		Out:      core.C(true),
+		Bindings: []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conds:    []core.Cond{{L: prj(v("d"), "A"), R: prj(v("d"), "B")}},
+	}
+	depR := &core.Dependency{
+		Name: "R",
+		Premise: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "v", Range: prj(v("d"), "B")},
+		},
+		Conclusion: []core.Binding{{Var: "w", Range: prj(v("v"), "C")}},
+	}
+	depP := &core.Dependency{
+		Name:       "P",
+		Premise:    []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conclusion: []core.Binding{{Var: "u", Range: prj(v("d"), "A")}},
+	}
+	deps := []*core.Dependency{depR, depP}
+	res, err := Chase(q, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.Steps[0].Dep != "P" || res.Steps[1].Dep != "R" {
+		t.Fatalf("steps = %v, want P then R (R re-enabled through the congruence class of d0.A)", res.Steps)
+	}
+	assertSameChase(t, "congruent delta", q, deps, Options{})
+}
+
+// TestDeltaDirtyRepeatedPremiseVar covers the other congruence-level
+// test a premise can pose: a repeated premise variable adds a var≡var
+// witness check, which an EGD can flip by merging two binding-variable
+// classes — a union whose feature log contains only the variable key.
+// The dependency must therefore be indexed under core.FeatVar. Here S is
+// searched and marked clean before T's step enables the EGD E; E merges
+// x and y, and only the "?" feature connects that union back to S.
+// (core.Dependency.Validate rejects duplicate premise vars, but the
+// chase engines accept unvalidated dependencies and enumerate the
+// witness test for them — both engines must keep agreeing on the shape.)
+func TestDeltaDirtyRepeatedPremiseVar(t *testing.T) {
+	v, n, prj := core.V, core.Name, core.Prj
+	q := &core.Query{
+		Out: core.C(true),
+		Bindings: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "x", Range: prj(v("d"), "B")},
+			{Var: "y", Range: prj(v("d"), "C")},
+		},
+	}
+	depS := &core.Dependency{
+		Name: "S",
+		Premise: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "v", Range: prj(v("d"), "B")},
+			{Var: "v", Range: prj(v("d"), "C")},
+		},
+		Conclusion: []core.Binding{{Var: "w", Range: prj(v("v"), "C2")}},
+	}
+	depT := &core.Dependency{
+		Name:       "T",
+		Premise:    []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conclusion: []core.Binding{{Var: "z", Range: prj(v("d"), "D")}},
+	}
+	depE := &core.Dependency{
+		Name: "E",
+		Premise: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "z", Range: prj(v("d"), "D")},
+			{Var: "x", Range: prj(v("d"), "B")},
+			{Var: "y", Range: prj(v("d"), "C")},
+		},
+		ConclusionConds: []core.Cond{{L: v("x"), R: v("y")}},
+	}
+	deps := []*core.Dependency{depS, depT, depE}
+	res, err := Chase(q, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 || res.Steps[0].Dep != "T" || res.Steps[1].Dep != "E" || res.Steps[2].Dep != "S" {
+		t.Fatalf("steps = %v, want T, E, S (S re-enabled by the x≡y union through FeatVar)", res.Steps)
+	}
+	assertSameChase(t, "repeated premise var", q, deps, Options{})
+}
+
+// TestDeltaDirtyConstantPremise covers the constant feature key: a
+// premise atom over a bare constant ("v in x") contributes no name or
+// var-rooted shape key, so without a key for the constant itself the
+// dependency is unreachable from any delta. All three wake-up paths are
+// exercised: a new binding whose range IS the constant, a new binding
+// whose range is congruent to it, and an EGD union joining the
+// constant's class with a projection class.
+func TestDeltaDirtyConstantPremise(t *testing.T) {
+	v, n, prj := core.V, core.Name, core.Prj
+	x := core.C("x")
+	depR := &core.Dependency{
+		Name: "R",
+		Premise: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "v", Range: x},
+		},
+		Conclusion: []core.Binding{{Var: "w", Range: prj(v("v"), "C")}},
+	}
+
+	// Path 1: P adds a binding ranging over the constant itself.
+	q := &core.Query{
+		Out:      core.C(true),
+		Bindings: []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conds:    []core.Cond{{L: prj(v("d"), "A"), R: x}},
+	}
+	constP := &core.Dependency{
+		Name:       "P",
+		Premise:    []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conclusion: []core.Binding{{Var: "u", Range: x}},
+	}
+	deps := []*core.Dependency{depR, constP}
+	res, err := Chase(q, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.Steps[1].Dep != "R" {
+		t.Fatalf("constant range: steps = %v, want P then R", res.Steps)
+	}
+	assertSameChase(t, "constant range delta", q, deps, Options{})
+
+	// Path 2: P adds a binding over d.A, congruent to the constant via
+	// the query condition d.A = "x".
+	projP := &core.Dependency{
+		Name:       "P",
+		Premise:    []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conclusion: []core.Binding{{Var: "u", Range: prj(v("d"), "A")}},
+	}
+	deps = []*core.Dependency{depR, projP}
+	res, err = Chase(q, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.Steps[1].Dep != "R" {
+		t.Fatalf("congruent-to-constant range: steps = %v, want P then R", res.Steps)
+	}
+	assertSameChase(t, "congruent constant delta", q, deps, Options{})
+
+	// Path 3: the congruence to the constant arrives by EGD union after R
+	// was searched and marked clean — the union's feature log must carry
+	// the constant's key, since the projection class alone logs only ".A".
+	qe := &core.Query{
+		Out: core.C(true),
+		Bindings: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "u", Range: prj(v("d"), "A")},
+		},
+	}
+	depT := &core.Dependency{
+		Name:       "T",
+		Premise:    []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conclusion: []core.Binding{{Var: "z", Range: prj(v("d"), "D")}},
+	}
+	depE := &core.Dependency{
+		Name: "E",
+		Premise: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "z", Range: prj(v("d"), "D")},
+		},
+		ConclusionConds: []core.Cond{{L: prj(v("d"), "A"), R: x}},
+	}
+	deps = []*core.Dependency{depR, depT, depE}
+	res, err = Chase(qe, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 3 || res.Steps[0].Dep != "T" || res.Steps[1].Dep != "E" || res.Steps[2].Dep != "R" {
+		t.Fatalf("EGD union with constant: steps = %v, want T, E, R", res.Steps)
+	}
+	assertSameChase(t, "constant union", qe, deps, Options{})
+}
+
+// TestDeltaDirtyStructPremise covers the struct shape key: a premise
+// atom v in struct(A: w) over premise vars has no name, constant, or
+// var-rooted key — only the constructor's field list can connect it to a
+// delta. P appends a binding ranging over struct(A: "x"), which matches
+// the atom under w -> u precisely because u ≡ "x"; without the
+// "struct:A" key on both sides R is unreachable and the incremental
+// engine stops a step early.
+func TestDeltaDirtyStructPremise(t *testing.T) {
+	v, n, prj := core.V, core.Name, core.Prj
+	x := core.C("x")
+	q := &core.Query{
+		Out: core.C(true),
+		Bindings: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "u", Range: prj(v("d"), "K")},
+		},
+		Conds: []core.Cond{{L: v("u"), R: x}},
+	}
+	depR := &core.Dependency{
+		Name: "R",
+		Premise: []core.Binding{
+			{Var: "d", Range: n("Depts")},
+			{Var: "w", Range: prj(v("d"), "K")},
+			{Var: "v", Range: core.Struct(core.SF("A", v("w")))},
+		},
+		Conclusion: []core.Binding{{Var: "z", Range: prj(v("v"), "C")}},
+	}
+	depP := &core.Dependency{
+		Name:       "P",
+		Premise:    []core.Binding{{Var: "d", Range: n("Depts")}},
+		Conclusion: []core.Binding{{Var: "s", Range: core.Struct(core.SF("A", x))}},
+	}
+	deps := []*core.Dependency{depR, depP}
+	res, err := Chase(q, deps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 2 || res.Steps[1].Dep != "R" {
+		t.Fatalf("struct premise: steps = %v, want P then R", res.Steps)
+	}
+	assertSameChase(t, "struct premise delta", q, deps, Options{})
+}
+
 // TestErrBudgetReportsFiringDep asserts the diagnosable-budget satellite:
 // a non-terminating dependency set names the runaway dependency in both
 // the typed error and its message.

@@ -148,6 +148,29 @@ func (c *Closure) TakeTouched() map[string]bool {
 	return t
 }
 
+// ClassFeatures returns the recorded feature keys of the term's whole
+// congruence class — the union of core.Term feature keys over every
+// interned member. Returns nil when feature tracking is disabled or the
+// term has not been interned. The returned map is the live internal set:
+// callers must treat it as read-only and must not retain it across
+// mutations of the closure.
+//
+// The incremental chase consults this when a new binding is appended:
+// premise membership tests compare ranges up to congruence, so the
+// binding can wake up any dependency whose premise shape occurs anywhere
+// in the range's class, not only dependencies matching the range's own
+// syntactic shape.
+func (c *Closure) ClassFeatures(t *core.Term) map[string]bool {
+	if c.feats == nil {
+		return nil
+	}
+	id, ok := c.byKey[t.HashKey()]
+	if !ok {
+		return nil
+	}
+	return c.feats[c.find(id)]
+}
+
 // noteFeatures registers a node's term features with its current class.
 func (c *Closure) noteFeatures(id int) {
 	r := c.find(id)

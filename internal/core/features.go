@@ -1,5 +1,7 @@
 package core
 
+import "strings"
+
 // Feature keys summarize which parts of the canonical database a term can
 // interact with during homomorphism search. The incremental chase uses
 // them in two places that must agree:
@@ -23,11 +25,29 @@ package core
 //
 // The keys:
 //
-//	"!N"   — the schema name N occurs in the term
-//	".F"   — a projection .F whose base chain bottoms out in a variable
-//	"dom"  — dom(P) with P rooted in a variable
-//	"[]"   — a lookup P[k] / P{k} with P rooted in a variable
-//	"?"    — the term is a bare variable
+//	"!N"          — the schema name N occurs in the term
+//	"#T:v"        — the constant v (its HashKey) occurs in the term
+//	"struct:F,G"  — a struct constructor with fields F,G occurs in the term
+//	".F"          — a projection .F whose base chain bottoms out in a variable
+//	"dom"         — dom(P) with P rooted in a variable
+//	"[]"          — a lookup P[k] / P{k} with P rooted in a variable
+//	"?"           — the term is a bare variable
+//
+// Constants get a key of their own (unlike variables) because they are
+// rigid: a premise atom or condition side mentioning "x" can only be
+// matched through a class that contains that very constant, so the
+// constant's key connects the premise to exactly the unions and bindings
+// whose classes carry it — e.g. a premise atom v in "x" must be woken
+// when an EGD merges d.A with "x", a union whose log would otherwise
+// show only ".A".
+//
+// Struct constructors carry their field-name list (the congruence
+// signature operator): two structs can only be congruent when their
+// field lists match, and without the key a premise atom like
+// v in struct(A: w) — whose var fields contribute nothing — would be
+// featureless and unreachable from any delta. With names, constants, and
+// struct keys, every term has at least one feature key: projection, dom,
+// and lookup chains bottom out in a name, a constant, or a variable.
 //
 // Variables occurring inside compound terms contribute no key of their
 // own: only the innermost var-rooted operator can participate in a
@@ -62,6 +82,8 @@ func (t *Term) collectFeatures(top bool, out map[string]bool) {
 		if top {
 			out[FeatVar] = true
 		}
+	case KConst:
+		out[t.HashKey()] = true
 	case KName:
 		out["!"+t.Name] = true
 	case KProj:
@@ -81,9 +103,16 @@ func (t *Term) collectFeatures(top bool, out map[string]bool) {
 		t.Base.collectFeatures(false, out)
 		t.Key.collectFeatures(false, out)
 	case KStruct:
-		for _, f := range t.Fields {
+		var b strings.Builder
+		b.WriteString("struct:")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f.Name)
 			f.Term.collectFeatures(false, out)
 		}
+		out[b.String()] = true
 	}
 }
 
@@ -91,9 +120,24 @@ func (t *Term) collectFeatures(top bool, out map[string]bool) {
 // the union over its premise ranges and premise condition sides, each
 // treated as a top-level term. These are the keys under which the
 // incremental chase indexes the dependency.
+//
+// A premise variable bound by more than one premise binding contributes
+// FeatVar: the repeat adds a var≡var witness test to homomorphism search
+// ("some target binding has a congruent range AND a congruent variable"),
+// and that test flips only through a union joining two bare-variable
+// classes — a union whose feature log may contain nothing but FeatVar.
+// Dependency.Validate rejects that shape ("duplicate premise var"), but
+// the chase engines accept unvalidated dependencies and enumerate the
+// witness test for them, so the index defends it rather than silently
+// diverging from the naive engine.
 func (d *Dependency) PremiseFeatureKeys() map[string]bool {
 	out := make(map[string]bool, 4)
+	seen := make(map[string]bool, len(d.Premise))
 	for _, b := range d.Premise {
+		if seen[b.Var] {
+			out[FeatVar] = true
+		}
+		seen[b.Var] = true
 		b.Range.CollectFeatureKeys(out)
 	}
 	for _, c := range d.PremiseConds {

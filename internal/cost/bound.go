@@ -222,13 +222,7 @@ type grounder struct {
 }
 
 func newGrounder(q *core.Query) *grounder {
-	cc := congruence.New()
-	for _, t := range q.AllTerms() {
-		cc.Add(t)
-	}
-	for _, c := range q.Conds {
-		cc.Merge(c.L, c.R)
-	}
+	cc := planClosure(q, -1)
 	g := &grounder{cc: cc, ground: map[int]bool{}}
 	terms := cc.Terms()
 	for changed := true; changed; {

@@ -313,15 +313,79 @@ func (s *Stats) lookupCount(t *core.Term) float64 {
 // heuristics of selectivity.
 func (s *Stats) condSelectivities(q *core.Query) []float64 {
 	sels := make([]float64, len(q.Conds))
-	var cc *congruence.Closure // built lazily: only row equalities need it
+	// The full plan closure (every condition merged) over-approximates
+	// every per-condition exclusion closure: exclusion only removes
+	// congruences, shrinking the candidate classes unitRowEquality
+	// consults. So the full closure, built lazily once and shared across
+	// the plan's conditions, is a sound pre-filter — a condition it
+	// rejects can never pass under its own exclusion closure — and the
+	// per-condition closure is only built for conditions that pass it.
+	var full *congruence.Closure
+	fullCC := func() *congruence.Closure {
+		if full == nil {
+			full = planClosure(q, -1)
+		}
+		return full
+	}
+	// Exclusion closures are memoized per distinct condition (orientation-
+	// insensitive): duplicate copies of one equality exclude the same set
+	// of conditions and hence share one closure.
+	var excls map[string]*congruence.Closure
 	for i, c := range q.Conds {
-		if s.unitRowEquality(q, c, &cc) {
-			sels[i] = 1
-			continue
+		if s.unitRowEquality(q, c, fullCC) {
+			key := condKey(c)
+			exclCC := func() *congruence.Closure {
+				if excls == nil {
+					excls = map[string]*congruence.Closure{}
+				}
+				if excls[key] == nil {
+					excls[key] = planClosure(q, i)
+				}
+				return excls[key]
+			}
+			if s.unitRowEquality(q, c, exclCC) {
+				sels[i] = 1
+				continue
+			}
 		}
 		sels[i] = s.selectivity(q, c)
 	}
 	return sels
+}
+
+// condKey is an orientation-insensitive cache key for a condition.
+func condKey(c core.Cond) string {
+	l, r := c.L.HashKey(), c.R.HashKey()
+	if r < l {
+		l, r = r, l
+	}
+	return l + "=" + r
+}
+
+// planClosure builds the congruence closure over the plan's terms and
+// conditions. With skip >= 0 it leaves out every condition syntactically
+// equal, in either orientation, to q.Conds[skip] — not just the one
+// index: excluding only the index would let a duplicate or flipped copy
+// of the priced equality smuggle it back into its own proof. skip -1
+// merges all conditions.
+func planClosure(q *core.Query, skip int) *congruence.Closure {
+	cc := congruence.New()
+	for _, t := range q.AllTerms() {
+		cc.Add(t)
+	}
+	for _, cd := range q.Conds {
+		if skip >= 0 && sameCond(cd, q.Conds[skip]) {
+			continue
+		}
+		cc.Merge(cd.L, cd.R)
+	}
+	return cc
+}
+
+// sameCond reports orientation-insensitive syntactic equality of two
+// conditions.
+func sameCond(a, b core.Cond) bool {
+	return (a.L.Equal(b.L) && a.R.Equal(b.R)) || (a.L.Equal(b.R) && a.R.Equal(b.L))
 }
 
 // unitRowEquality reports whether the var=var condition x = y is a
@@ -336,8 +400,15 @@ func (s *Stats) condSelectivities(q *core.Query) []float64 {
 // would understate the multiplicity tenfold and misrank near-ties (the
 // PR 3 calibration finding, e.g. d0 = t_1 with t_1 in DK0{d0.K}).
 //
-// ccp caches the lazily built closure across the conditions of one plan.
-func (s *Stats) unitRowEquality(q *core.Query, c core.Cond, ccp **congruence.Closure) bool {
+// The decisive closure must merge every plan condition EXCEPT copies of
+// the one being priced: the equality must not participate in its own
+// proof. Merging x = y makes every term over x congruent to its y
+// counterpart, so a bucket actually keyed by an unrelated variable would
+// pass the keyed-by-x test and a genuinely filtering equality would be
+// priced at selectivity 1. condSelectivities supplies the closure
+// (planClosure with the priced condition skipped), first pre-filtering
+// with the shared full closure, whose acceptances are a superset.
+func (s *Stats) unitRowEquality(q *core.Query, c core.Cond, closure func() *congruence.Closure) bool {
 	if c.L.Kind != core.KVar || c.R.Kind != core.KVar || c.L.Name == c.R.Name {
 		return false
 	}
@@ -348,19 +419,6 @@ func (s *Stats) unitRowEquality(q *core.Query, c core.Cond, ccp **congruence.Clo
 			}
 		}
 		return nil
-	}
-	closure := func() *congruence.Closure {
-		if *ccp == nil {
-			cc := congruence.New()
-			for _, t := range q.AllTerms() {
-				cc.Add(t)
-			}
-			for _, cd := range q.Conds {
-				cc.Merge(cd.L, cd.R)
-			}
-			*ccp = cc
-		}
-		return *ccp
 	}
 	keyedByX := func(key *core.Term, x string) bool {
 		cands := []*core.Term{key}

@@ -120,6 +120,56 @@ func TestUnitRowEqualityRequiresUnitFanout(t *testing.T) {
 	}
 }
 
+// TestUnitRowEqualityNotSelfProving pins the review finding: the
+// equality being priced must not participate in its own congruence
+// proof. Here x = y is a genuinely filtering join of the independent
+// scan x against the bucket entry y, but merging x = y into the closure
+// puts x into the class of the bucket key z (via the separate guard
+// z = y), so the keyed-by-x test would accept a bucket actually keyed by
+// z and price the filter at selectivity 1.
+func TestUnitRowEqualityNotSelfProving(t *testing.T) {
+	v, n := core.V, core.Name
+	q := &core.Query{
+		Out: v("x"),
+		Bindings: []core.Binding{
+			{Var: "z", Range: n("S")},
+			{Var: "x", Range: n("R")},
+			{Var: "y", Range: core.LkNF(n("M"), v("z"))},
+		},
+		Conds: []core.Cond{
+			{L: v("x"), R: v("y")},
+			{L: v("z"), R: v("y")},
+		},
+	}
+	s := unitSelStats()
+	sels := s.condSelectivities(q)
+	if sels[0] != s.DefaultSelectivity {
+		t.Errorf("selectivity(x = y) = %g, want DefaultSelectivity %g: the priced equality proved itself",
+			sels[0], s.DefaultSelectivity)
+	}
+	// The guard z = y stays a unit-bucket membership (key z is directly
+	// over z, no closure needed).
+	if sels[1] != 1 {
+		t.Errorf("selectivity(z = y) = %g, want 1", sels[1])
+	}
+
+	// A flipped copy of the priced equality must not smuggle it back into
+	// its own proof: the exclusion is by syntactic condition, in either
+	// orientation, not by index.
+	q.Conds = []core.Cond{
+		{L: v("x"), R: v("y")},
+		{L: v("y"), R: v("x")},
+		{L: v("z"), R: v("y")},
+	}
+	sels = s.condSelectivities(q)
+	for _, i := range []int{0, 1} {
+		if sels[i] != s.DefaultSelectivity {
+			t.Errorf("duplicated x = y: selectivity[%d] = %g, want DefaultSelectivity %g",
+				i, sels[i], s.DefaultSelectivity)
+		}
+	}
+}
+
 // TestUnitRowEqualityRanking is the misranking regression itself: with
 // the guard priced at selectivity 1, the estimator must rank the plan
 // that adds a redundant unit-bucket probe above (costlier than) the plan
