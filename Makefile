@@ -20,6 +20,14 @@
 #                     cheapest-cost change (see cmd/benchcheck). After an
 #                     intentional search change, regenerate the baseline
 #                     with make bench-baseline and commit it.
+#   make serve-load - race-instrumented serving gate: the 16-worker load
+#                     harness plus the singleflight storm/cancellation
+#                     suites, in -short mode so CI pays minutes, not
+#                     tens of minutes.
+#   make serve-smoke - build cnbd, start it, optimize the ProjDept
+#                     example twice over HTTP (the second round must be
+#                     a plan-cache hit), install a stats snapshot, and
+#                     shut it down. Fails on any error response.
 #
 # Set GOFLAGS=-short to skip the slow paths: experiment tests skip
 # themselves and bench-smoke becomes a no-op.
@@ -34,11 +42,15 @@ BENCH_GATE_FLAGS = -parallelism 1
 
 # The packages whose tests exercise shared mutable state across
 # goroutines: the worker-pool backchase engine, the chase it drives
-# concurrently, the congruence closures cloned across workers, and the
-# optimizer that parallelizes both.
-RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/... ./internal/optimizer/...
+# concurrently, the congruence closures cloned across workers, the
+# optimizer that parallelizes both, and the serving layer that coalesces
+# concurrent requests over all of them.
+RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/... ./internal/optimizer/... ./internal/service/...
 
-.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline cover
+# Where serve-smoke binds its throwaway server.
+CNBD_ADDR ?= 127.0.0.1:18343
+
+.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline cover serve-load serve-smoke
 
 ci: vet build test race bench-smoke
 
@@ -75,6 +87,36 @@ bench-check:
 
 bench-baseline:
 	$(GO) run ./cmd/chasebench $(BENCH_GATE_FLAGS) -json-out $(BENCH_BASELINE)
+
+# The CI service-load gate: the closed-loop load harness (16 workers
+# replaying the star/snowflake mix against one Service) and the
+# singleflight/cancellation suites, all under the race detector. -short
+# keeps the race-instrumented run to a few hundred requests.
+serve-load:
+	$(GO) test -race -short -count=1 \
+		-run 'TestServiceLoadHarness|TestSingleflight|TestAlphaRenamed|TestWaiterCancellation|TestLastCallerCancellation|TestSetStats|TestStatsSwap' \
+		./internal/bench ./internal/service
+
+# End-to-end smoke of the cnbd server: start it, run the example client
+# (two optimize rounds — the second must be served from the plan cache —
+# then a metrics dump), install a statistics snapshot, and stop it.
+serve-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/cnbd ./cmd/cnbd
+	@set -e; \
+	./bin/cnbd -addr $(CNBD_ADDR) & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 50); do \
+		if curl -sf http://$(CNBD_ADDR)/healthz >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	[ "$$ok" = 1 ] || { echo "serve-smoke: cnbd did not come up" >&2; exit 1; }; \
+	$(GO) run ./examples/cnbdclient -addr http://$(CNBD_ADDR) | tee bin/serve-smoke.out; \
+	grep -q '"cache_hit": true' bin/serve-smoke.out || { echo "serve-smoke: second round was not a cache hit" >&2; exit 1; }; \
+	curl -sf -X POST -d '{"Card":{"Proj":5000}}' http://$(CNBD_ADDR)/stats >/dev/null; \
+	curl -sf http://$(CNBD_ADDR)/metrics >/dev/null; \
+	echo "serve-smoke: OK"
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

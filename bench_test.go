@@ -7,6 +7,7 @@
 package cnb_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"cnb/internal/eval"
 	"cnb/internal/instance"
 	"cnb/internal/optimizer"
+	"cnb/internal/service"
 	"cnb/internal/workload"
 )
 
@@ -58,6 +60,31 @@ func BenchmarkE11Semantic(b *testing.B)     { benchExperiment(b, "E11") }
 func BenchmarkE12Parallel(b *testing.B)     { benchExperiment(b, "E12") }
 func BenchmarkE13CostBounded(b *testing.B)  { benchExperiment(b, "E13") }
 func BenchmarkE15IncChase(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkE16ServeLoad(b *testing.B)    { benchExperiment(b, "E16") }
+
+// BenchmarkServiceWarmOptimize measures the serving hot path: an
+// Optimize request whose backchase is a plan-cache hit (chase + sharded
+// cache lookup + best-plan ranking), the per-request cost every client
+// after a shape's first pays.
+func BenchmarkServiceWarmOptimize(b *testing.B) {
+	pd := projDept(b)
+	svc := service.New(service.Options{Parallelism: 1, MinimalOnly: true})
+	req := service.Request{Query: pd.Q, Deps: pd.AllDeps(), PhysicalNames: pd.Physical.NameSet()}
+	if _, err := svc.Optimize(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Optimize(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("warm request missed the plan cache")
+		}
+	}
+}
 
 // --- pipeline phase micro-benchmarks --------------------------------------
 

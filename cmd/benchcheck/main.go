@@ -20,6 +20,11 @@
 //   - the "chase_steps" metric is held exactly: chase step counts are
 //     deterministic, and both chase engines are pinned to the same step
 //     sequence, so any drift means the chase itself changed behavior;
+//   - the serving-layer counters "cache_hits", "cache_misses" and
+//     "backchase_runs" (E16's workers=1 pass) are held exactly: the
+//     request schedule is seeded and the single-worker service is
+//     serial, so these counts are deterministic, and any drift means the
+//     plan cache keying, eviction or singleflight accounting changed;
 //   - experiments and gated metrics present in the baseline must still
 //     exist in the current report.
 //
@@ -73,6 +78,16 @@ func (r *report) byID() map[string]map[string]float64 {
 
 const costTolerance = 1e-6 // relative; covers float summation noise only
 
+// exactCounters are deterministic count metrics held exactly (within
+// costTolerance, which only absorbs float encoding noise): chase step
+// counts and the serving layer's single-worker cache/flight counters.
+var exactCounters = map[string]bool{
+	"chase_steps":    true,
+	"cache_hits":     true,
+	"cache_misses":   true,
+	"backchase_runs": true,
+}
+
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline report")
@@ -109,7 +124,7 @@ func main() {
 			// exploration work and are never gated.
 			gatedStates := strings.HasSuffix(name, "_states") && !strings.Contains(name, "pruned")
 			gatedWork := strings.HasSuffix(name, "_hom_tests")
-			gatedCost := strings.HasPrefix(name, "cheapest_cost") || name == "chase_steps"
+			gatedCost := strings.HasPrefix(name, "cheapest_cost") || exactCounters[name]
 			if !gatedStates && !gatedWork && !gatedCost {
 				continue
 			}

@@ -1,0 +1,278 @@
+// Command cnbd serves the chase & backchase optimizer over HTTP: the
+// paper's universal-plan optimizer as persistent infrastructure rather
+// than a one-shot CLI. Requests from any number of concurrent clients
+// share one internal/service.Service — a sharded plan cache, singleflight
+// coalescing of alpha-equivalent queries, and hot-swappable statistics.
+//
+// Endpoints:
+//
+//	POST /optimize  body: a cnb source document (schemas, optional
+//	                design, queries — the same syntax cmd/cnb reads).
+//	                Optimizes every query in the document and returns a
+//	                JSON summary per query. ?design=NAME picks a design
+//	                when the document declares several.
+//	POST /stats     body: a JSON cost.Stats object (field names as in
+//	                internal/cost.Stats: Card, EntryFanout, Distinct,
+//	                ...). Atomically installs the snapshot and reports
+//	                how many cache entries it invalidated. Serving
+//	                continues throughout.
+//	GET  /metrics   JSON dump of request, cache and chase counters.
+//	GET  /healthz   liveness probe.
+//
+// Usage:
+//
+//	cnbd [-addr :8343] [-parallelism N] [-cache-size N] [-cost-bounded]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"cnb/internal/core"
+	"cnb/internal/cost"
+	"cnb/internal/parser"
+	"cnb/internal/service"
+)
+
+// queryResult is the JSON summary of one optimized query.
+type queryResult struct {
+	Name              string  `json:"name"`
+	UniversalBindings int     `json:"universal_bindings"`
+	ChaseSteps        int     `json:"chase_steps"`
+	States            int     `json:"states"`
+	MinimalPlans      int     `json:"minimal_plans"`
+	Candidates        int     `json:"candidates"`
+	BestPlan          string  `json:"best_plan,omitempty"`
+	BestCost          float64 `json:"best_cost"`
+	CacheHit          bool    `json:"cache_hit"`
+	Coalesced         bool    `json:"coalesced"`
+	Fallback          bool    `json:"fallback,omitempty"`
+	Inconsistent      bool    `json:"inconsistent,omitempty"`
+	WallMS            float64 `json:"wall_ms"`
+}
+
+type optimizeResponse struct {
+	Design  string        `json:"design,omitempty"`
+	Queries []queryResult `json:"queries"`
+}
+
+type server struct {
+	svc   *service.Service
+	start time.Time
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8343", "listen address")
+		parallelism = flag.Int("parallelism", 0, "backchase worker count per flight (0 = all cores)")
+		cacheSize   = flag.Int("cache-size", 0, "plan cache entry bound (0 = default, <0 = unbounded)")
+		cacheShards = flag.Int("cache-shards", 0, "plan cache stripe count (0 = default)")
+		costBounded = flag.Bool("cost-bounded", false, "cost-bounded best-first backchase once stats are installed")
+	)
+	flag.Parse()
+
+	s := &server{
+		svc: service.New(service.Options{
+			Parallelism: *parallelism,
+			CacheSize:   *cacheSize,
+			CacheShards: *cacheShards,
+			CostBounded: *costBounded,
+		}),
+		start: time.Now(),
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("POST /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	log.Printf("cnbd listening on %s (parallelism=%d cost-bounded=%v)", *addr, *parallelism, *costBounded)
+	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Fatal(srv.ListenAndServe())
+}
+
+// handleOptimize parses the posted cnb document and optimizes every query
+// in it through the shared service.
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	src, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	doc, err := parser.Parse(string(src))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	design, err := pickDesign(doc, r.URL.Query().Get("design"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var deps []*core.Dependency
+	var physNames map[string]bool
+	resp := optimizeResponse{}
+	if design != nil {
+		deps = append(deps, design.Deps...)
+		physNames = design.Physical.NameSet()
+		resp.Design = design.Name
+	}
+	for _, sc := range doc.Schemas {
+		deps = append(deps, sc.Dependencies()...)
+	}
+	if len(doc.QueryOrder) == 0 {
+		httpError(w, http.StatusBadRequest, "document declares no queries")
+		return
+	}
+
+	for _, name := range doc.QueryOrder {
+		q := doc.Queries[name]
+		start := time.Now()
+		res, err := s.svc.Optimize(r.Context(), service.Request{
+			Query:         q,
+			Deps:          deps,
+			PhysicalNames: physNames,
+		})
+		if err != nil {
+			// 499-style: the client went away; anything else is the
+			// optimizer refusing the input.
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+				status = http.StatusRequestTimeout
+			}
+			httpError(w, status, "query %s: %v", name, err)
+			return
+		}
+		qr := queryResult{
+			Name:              name,
+			UniversalBindings: len(res.Result.Universal.Bindings),
+			ChaseSteps:        len(res.Result.ChaseSteps),
+			States:            res.Result.States,
+			MinimalPlans:      len(res.Result.Minimal),
+			Candidates:        len(res.Result.Candidates),
+			CacheHit:          res.CacheHit,
+			Coalesced:         res.Coalesced,
+			Fallback:          res.Result.Fallback,
+			Inconsistent:      res.Result.Inconsistent,
+			WallMS:            float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if res.Result.Best != nil {
+			qr.BestPlan = res.Result.Best.Query.String()
+			qr.BestCost = res.Result.Best.Cost
+		}
+		resp.Queries = append(resp.Queries, qr)
+	}
+	writeJSON(w, resp)
+}
+
+// handleStats installs a new statistics snapshot. The body is a JSON
+// object using internal/cost.Stats field names; omitted fields keep
+// NewStats defaults.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	st := cost.NewStats()
+	if err := json.Unmarshal(body, st); err != nil {
+		httpError(w, http.StatusBadRequest, "stats: %v", err)
+		return
+	}
+	invalidated := s.svc.SetStats(st)
+	writeJSON(w, map[string]any{
+		"installed":   true,
+		"fingerprint": st.Fingerprint(),
+		"invalidated": invalidated,
+	})
+}
+
+// handleMetrics dumps every counter the serving layer maintains.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.svc.Counters()
+	cc := s.svc.CacheCounters()
+	m := s.svc.ChaseMetrics()
+	writeJSON(w, map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"requests":       c.Requests,
+		"errors":         c.Errors,
+		"coalesced":      c.Coalesced,
+		"flights":        c.Flights,
+		"backchase_runs": c.BackchaseRuns,
+		"stats_swaps":    c.StatsSwaps,
+		"cache": map[string]any{
+			"hits":        cc.Hits,
+			"misses":      cc.Misses,
+			"evictions":   cc.Evictions,
+			"invalidated": cc.Invalidated,
+			"entries":     s.svc.CacheLen(),
+		},
+		"chase": map[string]any{
+			"runs":         m.Runs.Load(),
+			"steps":        m.ChaseSteps.Load(),
+			"hom_tests":    m.HomTests.Load(),
+			"dep_searches": m.DepSearches.Load(),
+		},
+	})
+}
+
+// pickDesign mirrors cmd/cnb: an explicit name must exist; with exactly
+// one design it is implied; with none (or several and no name) queries
+// are optimized against the logical constraints only.
+func pickDesign(doc *parser.Document, name string) (*parser.DesignResult, error) {
+	if name != "" {
+		d := doc.Designs[name]
+		if d == nil {
+			return nil, fmt.Errorf("unknown design %q", name)
+		}
+		return d, nil
+	}
+	if len(doc.Designs) == 1 {
+		for _, d := range doc.Designs {
+			return d, nil
+		}
+	}
+	return nil, nil
+}
+
+// readBody reads a bounded request body (1 MiB: documents are source
+// text, not data). Only an actual limit overrun is a 413; any other read
+// failure (client disconnect, malformed chunking) is the client's 400.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "read body: %v", err)
+		return nil, false
+	}
+	return body, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("write response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	msg := fmt.Sprintf(format, args...)
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": msg}); err != nil {
+		log.Printf("write error response: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+// Command cnbdclient is a minimal client for the cnbd optimizer server:
+// it posts a cnb source document to POST /optimize twice — the second
+// round demonstrates the plan cache (cache_hit: true, identical best
+// plan, a fraction of the wall time) — and then dumps GET /metrics.
+//
+// Start the server, then run the client:
+//
+//	go run ./cmd/cnbd -addr :8343 &
+//	go run ./examples/cnbdclient -addr http://localhost:8343
+//
+// Pass -file to post your own document instead of the built-in ProjDept
+// example (the paper's running example, same source cmd/cnb -example
+// uses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+const exampleSource = `
+schema Logical {
+  Proj  : set<{PName: string, CustName: string, PDept: string, Budg: int}>;
+  depts : set<{DName: string, DProjs: set<string>, MgrName: string}>;
+
+  constraint RIC1:
+    forall (d in depts, s in d.DProjs) exists (p in Proj) s = p.PName;
+  constraint RIC2:
+    forall (p in Proj) exists (d in depts) p.PDept = d.DName;
+  constraint INV1:
+    forall (d in depts, s in d.DProjs, p in Proj) s = p.PName -> p.PDept = d.DName;
+  constraint INV2:
+    forall (p in Proj, d in depts) p.PDept = d.DName -> exists (s in d.DProjs) p.PName = s;
+  constraint KEY1:
+    forall (a in depts, b in depts) a.DName = b.DName -> a = b;
+  constraint KEY2:
+    forall (a in Proj, b in Proj) a.PName = b.PName -> a = b;
+}
+
+design Phys over Logical {
+  store Proj;
+  classdict Dept for depts oid Doid;
+  primary index I on Proj(PName);
+  secondary index SI on Proj(CustName);
+  view JI: select struct(DOID: dd, PN: p.PName)
+           from dom(Dept) dd, Dept[dd].DProjs s, Proj p
+           where s = p.PName;
+}
+
+query Q:
+  select struct(PN: s, PB: p.Budg, DN: d.DName)
+  from depts d, d.DProjs s, Proj p
+  where s = p.PName and p.CustName = "CitiBank";
+`
+
+func main() {
+	var (
+		addr = flag.String("addr", "http://localhost:8343", "cnbd base URL")
+		file = flag.String("file", "", "cnb document to post (default: built-in ProjDept example)")
+	)
+	flag.Parse()
+
+	src := exampleSource
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		src = string(data)
+	}
+
+	for round := 1; round <= 2; round++ {
+		fmt.Printf("--- POST /optimize (round %d) ---\n", round)
+		post(*addr+"/optimize", src)
+	}
+	fmt.Println("--- GET /metrics ---")
+	get(*addr + "/metrics")
+}
+
+func post(url, body string) {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		fatal("%v", err)
+	}
+	dump(resp)
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal("%v", err)
+	}
+	dump(resp)
+}
+
+func dump(resp *http.Response) {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal("HTTP %d: %s", resp.StatusCode, data)
+	}
+	fmt.Printf("%s\n", data)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

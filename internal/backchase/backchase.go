@@ -168,7 +168,7 @@ func EnumerateContext(ctx context.Context, q *core.Query, deps []*core.Dependenc
 	}
 	res, err := e.enumerate(ctx, opts.parallelismOrDefault())
 	if opts.Cache != nil && err == nil && !res.Truncated {
-		opts.Cache.put(key, res)
+		opts.Cache.put(key, opts.statsFingerprint(), res)
 	}
 	return res, err
 }

@@ -7,14 +7,24 @@
 // all the paper's scenarios. Keying a cache by that signature (plus the
 // dependency set and every option that can change the result) makes
 // repeated Optimize calls on equivalent queries O(lookup) after the first
-// — the first step toward serving query traffic, where the same handful
-// of query shapes arrives over and over.
+// — the heart of serving query traffic, where the same handful of query
+// shapes arrives over and over.
+//
+// The cache is built to be hammered by many concurrent clients (the
+// internal/service layer): it is split into mutex-striped shards keyed by
+// a hash of the lookup key, each shard maintaining true LRU recency, so
+// concurrent Optimize calls on different query shapes proceed without
+// contending on one lock, and a churn of never-repeating shapes evicts
+// the coldest entry instead of a random victim.
 package backchase
 
 import (
+	"container/list"
 	"fmt"
+	"hash/maphash"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cnb/internal/core"
 )
@@ -24,84 +34,235 @@ import (
 // (which hold every explored subquery) without limit.
 const DefaultPlanCacheSize = 1024
 
+// DefaultPlanCacheShards is the stripe count of NewPlanCache. Sixteen
+// shards keep lock hold times per shard short under the 16-worker load
+// profiles the serving layer is gated on, while every shard still holds
+// enough entries (64 at the default size) for per-shard LRU to
+// approximate global LRU closely.
+const DefaultPlanCacheShards = 16
+
+// CacheCounters is an aggregated snapshot of the cache's lifetime
+// counters. Each counter is maintained per shard with atomics, so a hit
+// or eviction is counted exactly once even under concurrent access; the
+// snapshot sums the shards without stopping them, so it is only
+// point-in-time consistent per counter.
+type CacheCounters struct {
+	// Hits counts get calls served from the cache.
+	Hits int64
+	// Misses counts get calls that found nothing.
+	Misses int64
+	// Evictions counts entries dropped because a shard reached its
+	// capacity (LRU victims). Invalidated entries are not evictions.
+	Evictions int64
+	// Invalidated counts entries dropped by InvalidateStats because their
+	// statistics fingerprint no longer matched the serving snapshot.
+	Invalidated int64
+}
+
+// cacheEntry is one stored Result plus the metadata eviction and
+// invalidation need.
+type cacheEntry struct {
+	key string
+	// statsFP is the fingerprint of the cost.Stats the Result was
+	// computed under ("" when the enumeration ran without statistics and
+	// is therefore statistics-independent). InvalidateStats drops entries
+	// whose fingerprint differs from the new snapshot's.
+	statsFP string
+	res     *Result
+}
+
+// cacheShard is one mutex-striped slice of the cache: a map for lookup
+// plus an intrusive recency list (front = most recently used).
+type cacheShard struct {
+	mu         sync.Mutex
+	m          map[string]*list.Element // value: *cacheEntry
+	ll         *list.List
+	maxEntries int // <= 0 means unbounded
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	invalidated atomic.Int64
+}
+
 // PlanCache memoizes complete enumeration Results across Enumerate calls.
 // It is safe for concurrent use by multiple goroutines; a Result stored in
 // the cache is shared by every caller that hits it, so callers must treat
 // cached Results (and the Queries they reference) as read-only — which is
 // the package-wide convention anyway (every mutation path Clones first).
 //
-// The cache holds at most maxEntries Results; when full, an arbitrary
-// entry is evicted (random replacement — simple, and for the repeated
-// query shapes the cache targets, any victim is equally likely to be
-// cold).
+// The cache holds at most its configured entry budget, split across the
+// shards; when a shard is full its least-recently-used entry is evicted.
 type PlanCache struct {
-	mu         sync.Mutex
-	m          map[string]*Result
-	maxEntries int
-	hits       int64
-	misses     int64
+	shards []*cacheShard
+	seed   maphash.Seed
 }
 
 // NewPlanCache returns an empty cache bounded to DefaultPlanCacheSize
-// entries.
+// entries across DefaultPlanCacheShards shards.
 func NewPlanCache() *PlanCache {
-	return NewPlanCacheWithSize(DefaultPlanCacheSize)
+	return NewPlanCacheSharded(DefaultPlanCacheSize, DefaultPlanCacheShards)
 }
 
 // NewPlanCacheWithSize returns an empty cache bounded to n entries
-// (n <= 0 means unbounded).
+// (n <= 0 means unbounded) across DefaultPlanCacheShards shards.
 func NewPlanCacheWithSize(n int) *PlanCache {
-	return &PlanCache{m: map[string]*Result{}, maxEntries: n}
+	return NewPlanCacheSharded(n, DefaultPlanCacheShards)
+}
+
+// minShardCapacity is the smallest per-shard entry budget striping is
+// allowed to produce: the bound is global in spirit, and splitting a
+// small cache into many one-entry shards would let two hot keys that
+// hash together evict each other while other shards sit empty. Small
+// caches therefore collapse toward fewer (ultimately one) shard, where
+// eviction order is globally exact.
+const minShardCapacity = 8
+
+// NewPlanCacheSharded returns an empty cache bounded to n entries
+// (n <= 0 means unbounded) split across the given number of shards
+// (values < 1 mean 1). With a bounded size the shard count is clamped so
+// every shard holds at least minShardCapacity entries (a small cache
+// becomes a single shard with a globally exact bound); n is distributed
+// so the shard capacities sum to exactly n. A single shard makes
+// recency, eviction order and the counters globally exact — the
+// configuration the deterministic cache gates run under.
+func NewPlanCacheSharded(n, shards int) *PlanCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if n > 0 && shards > n/minShardCapacity {
+		shards = n / minShardCapacity
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	c := &PlanCache{
+		shards: make([]*cacheShard, shards),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		capacity := 0
+		if n > 0 {
+			capacity = n / shards
+			if i < n%shards {
+				capacity++
+			}
+		}
+		c.shards[i] = &cacheShard{
+			m:          map[string]*list.Element{},
+			ll:         list.New(),
+			maxEntries: capacity,
+		}
+	}
+	return c
+}
+
+// shard picks the stripe for a key.
+func (c *PlanCache) shard(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	h := maphash.String(c.seed, key)
+	return c.shards[h%uint64(len(c.shards))]
 }
 
 // get returns the cached Result for the key, marking it as served from
-// the cache. The returned struct is a shallow copy so the FromCache flag
-// never leaks into the stored entry.
+// the cache and refreshing its recency. The returned struct is a shallow
+// copy so the FromCache flag never leaks into the stored entry.
 func (c *PlanCache) get(key string) (*Result, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	res, ok := c.m[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.m[key]
 	if !ok {
-		c.misses++
+		s.mu.Unlock()
+		s.misses.Add(1)
 		return nil, false
 	}
-	c.hits++
+	s.ll.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	s.mu.Unlock()
+	s.hits.Add(1)
 	cp := *res
 	cp.FromCache = true
 	return &cp, true
 }
 
-// put stores a complete Result. First writer wins: two racing Enumerate
-// calls compute identical Results for the same key (or equally valid ones
-// under cost-bound pruning), so overwriting would only churn. A full
-// cache evicts an arbitrary entry first.
-func (c *PlanCache) put(key string, res *Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.m[key]; ok {
+// put stores a complete Result computed under the statistics snapshot
+// with the given fingerprint ("" for statistics-free runs). First writer
+// wins: two racing Enumerate calls compute identical Results for the same
+// key (or equally valid ones under cost-bound pruning), so overwriting
+// would only churn. A full shard evicts its least-recently-used entry
+// first.
+func (c *PlanCache) put(key, statsFP string, res *Result) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if _, ok := s.m[key]; ok {
+		s.mu.Unlock()
 		return
 	}
-	if c.maxEntries > 0 && len(c.m) >= c.maxEntries {
-		for victim := range c.m {
-			delete(c.m, victim)
-			break
+	var evicted bool
+	if s.maxEntries > 0 && s.ll.Len() >= s.maxEntries {
+		if back := s.ll.Back(); back != nil {
+			s.ll.Remove(back)
+			delete(s.m, back.Value.(*cacheEntry).key)
+			evicted = true
 		}
 	}
-	c.m[key] = res
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, statsFP: statsFP, res: res})
+	s.mu.Unlock()
+	if evicted {
+		s.evictions.Add(1)
+	}
+}
+
+// InvalidateStats drops every entry computed under a statistics snapshot
+// whose fingerprint differs from fp, returning the number dropped.
+// Statistics-independent entries (stored with an empty fingerprint, i.e.
+// enumerated without Stats) are kept: their Results do not change when
+// the serving snapshot does. The service layer calls this on stats
+// hot-swap so serving continues with only the stale entries gone.
+func (c *PlanCache) InvalidateStats(fp string) int {
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		var next *list.Element
+		for el := s.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			e := el.Value.(*cacheEntry)
+			if e.statsFP == "" || e.statsFP == fp {
+				continue
+			}
+			s.ll.Remove(el)
+			delete(s.m, e.key)
+			total++
+			s.invalidated.Add(1)
+		}
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Len returns the number of cached entries.
 func (c *PlanCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Counters returns the lifetime hit and miss counts.
-func (c *PlanCache) Counters() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// Counters returns an aggregated snapshot of the lifetime counters.
+func (c *PlanCache) Counters() CacheCounters {
+	var out CacheCounters
+	for _, s := range c.shards {
+		out.Hits += s.hits.Load()
+		out.Misses += s.misses.Load()
+		out.Evictions += s.evictions.Load()
+		out.Invalidated += s.invalidated.Load()
+	}
+	return out
 }
 
 // cacheKey builds the lookup key: the canonical (binding-order-normalized,
@@ -121,6 +282,15 @@ func cacheKey(q *core.Query, deps []*core.Dependency, opts Options) string {
 	}
 	b.WriteString(opts.fingerprint())
 	return b.String()
+}
+
+// statsFingerprint is the per-entry invalidation tag: the fingerprint of
+// the statistics the enumeration ran under, or "" for stats-free runs.
+func (o Options) statsFingerprint() string {
+	if o.Stats == nil {
+		return ""
+	}
+	return o.Stats.Fingerprint()
 }
 
 // fingerprint renders the result-affecting options deterministically.

@@ -1,6 +1,8 @@
 package backchase
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"cnb/internal/chase"
@@ -39,8 +41,8 @@ func TestPlanCacheHitOnRepeat(t *testing.T) {
 	if resultFingerprint(&cp) != resultFingerprint(first) {
 		t.Error("cached result differs from the computed one")
 	}
-	if hits, misses := cache.Counters(); hits != 1 || misses != 1 {
-		t.Errorf("counters = (%d hits, %d misses), want (1, 1)", hits, misses)
+	if c := cache.Counters(); c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("counters = (%d hits, %d misses), want (1, 1)", c.Hits, c.Misses)
 	}
 	if cache.Len() != 1 {
 		t.Errorf("cache holds %d entries, want 1", cache.Len())
@@ -122,8 +124,10 @@ func TestPlanCacheKeySensitivity(t *testing.T) {
 }
 
 // TestPlanCacheEvictsWhenFull: the entry cap evicts rather than grows.
+// Pinned to a single shard so the bound (and the eviction count) is
+// globally exact instead of per-stripe.
 func TestPlanCacheEvictsWhenFull(t *testing.T) {
-	cache := NewPlanCacheWithSize(2)
+	cache := NewPlanCacheSharded(2, 1)
 	stats := []*cost.Stats{cost.NewStats(), cost.NewStats(), cost.NewStats()}
 	for i, s := range stats {
 		s.Card["R"] = float64(10 * (i + 1)) // three distinct cache keys
@@ -133,6 +137,133 @@ func TestPlanCacheEvictsWhenFull(t *testing.T) {
 	}
 	if cache.Len() != 2 {
 		t.Errorf("cache holds %d entries, cap is 2", cache.Len())
+	}
+	if c := cache.Counters(); c.Evictions != 1 {
+		t.Errorf("evictions = %d, want exactly 1", c.Evictions)
+	}
+}
+
+// TestPlanCacheLRUSingleShard pins the exact LRU and counter semantics on
+// a deterministic single-shard cache: a get refreshes recency, a full
+// shard evicts its least-recently-used entry (not a random victim), and
+// the hit/miss/eviction counters are exact — the property the E16 gated
+// counter metrics rely on.
+func TestPlanCacheLRUSingleShard(t *testing.T) {
+	cache := NewPlanCacheSharded(2, 1)
+	resA, resB, resC := &Result{States: 1}, &Result{States: 2}, &Result{States: 3}
+	cache.put("a", "", resA)
+	cache.put("b", "", resB)
+	if _, ok := cache.get("a"); !ok { // refreshes a: LRU order is now b, a
+		t.Fatal("a must be cached")
+	}
+	cache.put("c", "", resC) // evicts b, the least recently used
+	if _, ok := cache.get("b"); ok {
+		t.Error("b must have been evicted as the LRU entry")
+	}
+	got, ok := cache.get("a")
+	if !ok {
+		t.Error("a must survive the eviction (it was refreshed)")
+	} else if got.States != resA.States {
+		t.Errorf("a returned States=%d, want %d", got.States, resA.States)
+	}
+	if !got.FromCache {
+		t.Error("cached result must be marked FromCache")
+	}
+	if resA.FromCache {
+		t.Error("FromCache leaked into the stored entry")
+	}
+	if _, ok := cache.get("c"); !ok {
+		t.Error("c must be cached")
+	}
+	if c := cache.Counters(); c != (CacheCounters{Hits: 3, Misses: 1, Evictions: 1}) {
+		t.Errorf("counters = %+v, want exactly {Hits:3 Misses:1 Evictions:1}", c)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", cache.Len())
+	}
+	// Re-putting an existing key is a no-op (first writer wins), not a
+	// second entry or an eviction.
+	cache.put("a", "", resB)
+	if got, _ := cache.get("a"); got == nil || got.States != resA.States {
+		t.Error("re-put must not overwrite the first writer's entry")
+	}
+}
+
+// TestPlanCacheSmallSizeSingleShard: a small bounded cache collapses to
+// one shard so the bound stays global — any keys fit up to the cap, no
+// matter how they would have hashed across stripes.
+func TestPlanCacheSmallSizeSingleShard(t *testing.T) {
+	cache := NewPlanCacheWithSize(4)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		cache.put(k, "", &Result{})
+	}
+	if cache.Len() != 4 {
+		t.Errorf("cache holds %d entries, want all 4 within the global bound", cache.Len())
+	}
+	if c := cache.Counters(); c.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 below the bound", c.Evictions)
+	}
+	cache.put("e", "", &Result{})
+	if cache.Len() != 4 {
+		t.Errorf("cache holds %d entries past its 4-entry bound", cache.Len())
+	}
+	if _, ok := cache.get("a"); ok {
+		t.Error("global LRU must have evicted the oldest entry, a")
+	}
+}
+
+// TestPlanCacheInvalidateStats: only entries computed under a differing
+// statistics fingerprint are dropped; stats-free entries and entries
+// matching the new snapshot survive.
+func TestPlanCacheInvalidateStats(t *testing.T) {
+	cache := NewPlanCacheSharded(8, 4)
+	cache.put("free", "", &Result{})
+	cache.put("old", "fp-old", &Result{})
+	cache.put("new", "fp-new", &Result{})
+	if n := cache.InvalidateStats("fp-new"); n != 1 {
+		t.Errorf("InvalidateStats dropped %d entries, want 1", n)
+	}
+	if _, ok := cache.get("old"); ok {
+		t.Error("entry under the old fingerprint must be invalidated")
+	}
+	if _, ok := cache.get("free"); !ok {
+		t.Error("stats-independent entry must survive the swap")
+	}
+	if _, ok := cache.get("new"); !ok {
+		t.Error("entry under the current fingerprint must survive the swap")
+	}
+	if c := cache.Counters(); c.Invalidated != 1 {
+		t.Errorf("invalidated = %d, want 1", c.Invalidated)
+	}
+}
+
+// TestPlanCacheConcurrentAccess hammers get/put/InvalidateStats across
+// shards under the race detector.
+func TestPlanCacheConcurrentAccess(t *testing.T) {
+	cache := NewPlanCacheWithSize(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%96)
+				if _, ok := cache.get(key); !ok {
+					cache.put(key, fmt.Sprintf("fp%d", i%3), &Result{States: i})
+				}
+				if i%50 == 0 {
+					cache.InvalidateStats("fp0")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := cache.Len(); n > 64 {
+		t.Errorf("cache grew to %d entries past its 64-entry bound", n)
+	}
+	c := cache.Counters()
+	if c.Hits+c.Misses != 8*200 {
+		t.Errorf("hits+misses = %d, want %d", c.Hits+c.Misses, 8*200)
 	}
 }
 

@@ -101,6 +101,7 @@ func All() []Experiment {
 		{"E13", "Cost-bounded best-first backchase vs exhaustive (star/snowflake)", E13},
 		{"E14", "Dictionary-aware bound vs scan-only bound + measured-cost calibration", E14},
 		{"E15", "Incremental chase: hom tests naive vs delta-indexed (star/snowflake)", E15},
+		{"E16", "Optimizer-as-a-service: load replay at 1/4/16 workers", E16},
 	}
 }
 

@@ -1,0 +1,287 @@
+// Load harness for the serving layer: closed-loop workers replay a mix
+// of query shapes against one internal/service.Service, measuring
+// throughput, latency percentiles and cache effectiveness. E16 runs it at
+// 1/4/16 workers; the CI service-load job runs it under the race
+// detector.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cnb/internal/backchase"
+	"cnb/internal/service"
+	"cnb/internal/workload"
+)
+
+// LoadQuery is one shape of the replay mix.
+type LoadQuery struct {
+	Name string
+	Req  service.Request
+}
+
+// LoadConfig sizes a load run.
+type LoadConfig struct {
+	// Workers is the closed-loop client count: each worker issues its
+	// next request as soon as the previous one returns.
+	Workers int
+	// Requests is the total request count across all workers.
+	Requests int
+	// AlphaRate is the fraction of requests issued as alpha-renamed
+	// variants of their shape (a fresh uniform variable-name prefix per
+	// request — an order-preserving rename, the kind client-side query
+	// generators emit). The serving layer keys flights and cache entries
+	// by the canonical signature, which such renames normalize away, so
+	// these must coalesce and hit exactly like verbatim repeats.
+	AlphaRate float64
+	// Seed makes the request schedule (shape choice and renames)
+	// deterministic; at Workers=1 the service counters are then exact,
+	// which is what lets cmd/benchcheck gate them.
+	Seed int64
+}
+
+// LoadResult is the outcome of one load run.
+type LoadResult struct {
+	Requests   int
+	Errors     int
+	Wall       time.Duration
+	Throughput float64 // requests per second
+	P50, P99   time.Duration
+	// Service and Cache snapshot the service's counters after the run
+	// (the service must be fresh for them to describe this run alone).
+	Service service.Counters
+	Cache   backchase.CacheCounters
+	// HitRate is Cache.Hits / (Cache.Hits + Cache.Misses).
+	HitRate float64
+}
+
+// ServeMix returns the E16 replay mix: the three E13 star/snowflake
+// scenarios, optimized against their own dependency sets. No statistics
+// are installed — the exhaustive backchase is deterministic and its cache
+// entries are statistics-independent, so the measured hit rates isolate
+// the serving layer from cost-model variance.
+func ServeMix() ([]LoadQuery, error) {
+	var mix []LoadQuery
+	for _, wl := range e13Workloads() {
+		s, err := workload.NewStar(wl.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, LoadQuery{Name: wl.Name, Req: service.Request{Query: s.Q, Deps: s.Deps}})
+	}
+	return mix, nil
+}
+
+// SmallServeMix returns a cheaper mix (single-dimension star and
+// snowflake plus the ProjDept running example) for race-detector and
+// -short runs, where the full E13 lattices would dominate the budget.
+func SmallServeMix() ([]LoadQuery, error) {
+	var mix []LoadQuery
+	small := workload.StarConfig{
+		Dims: 1, Views: 1, FactIndexes: 1, DimIndex: true,
+		Select: true, SelectA: 3, FKConstraints: true,
+	}
+	snow := small
+	snow.Snowflake = true
+	for _, c := range []struct {
+		name string
+		cfg  workload.StarConfig
+	}{{"star d=1 v=1", small}, {"snowflake d=1 v=1", snow}} {
+		s, err := workload.NewStar(c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, LoadQuery{Name: c.name, Req: service.Request{Query: s.Q, Deps: s.Deps}})
+	}
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		return nil, err
+	}
+	mix = append(mix, LoadQuery{Name: "projdept", Req: service.Request{
+		Query:         pd.Q,
+		Deps:          pd.AllDeps(),
+		PhysicalNames: pd.Physical.NameSet(),
+	}})
+	return mix, nil
+}
+
+// buildSchedule renders the deterministic request sequence: request i
+// picks a shape and, at the alpha rate, an alpha-renamed copy with
+// request-unique variable names.
+func buildSchedule(mix []LoadQuery, cfg LoadConfig) []service.Request {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schedule := make([]service.Request, cfg.Requests)
+	for i := range schedule {
+		shape := mix[rng.Intn(len(mix))]
+		req := shape.Req
+		if rng.Float64() < cfg.AlphaRate {
+			prefix := fmt.Sprintf("ld%d_", i)
+			req.Query = req.Query.RenameVars(func(v string) string { return prefix + v })
+		}
+		schedule[i] = req
+	}
+	return schedule
+}
+
+// RunLoad replays the mix against the service with cfg.Workers closed-loop
+// clients and returns the measured result. Any request error aborts
+// nothing — the remaining requests still run, so one failure cannot mask
+// others — but the first error is returned alongside the result, and
+// LoadResult.Errors counts them all.
+func RunLoad(ctx context.Context, svc *service.Service, mix []LoadQuery, cfg LoadConfig) (*LoadResult, error) {
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix")
+	}
+	if cfg.Workers < 1 || cfg.Requests < 1 {
+		return nil, fmt.Errorf("loadgen: need at least 1 worker and 1 request")
+	}
+	schedule := buildSchedule(mix, cfg)
+	latencies := make([]time.Duration, len(schedule))
+	var (
+		next     atomic.Int64
+		errCount atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(schedule) {
+					return
+				}
+				t0 := time.Now()
+				_, err := svc.Optimize(ctx, schedule[i])
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errCount.Add(1)
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("request %d: %w", i, err)
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	res := &LoadResult{
+		Requests:   len(schedule),
+		Errors:     int(errCount.Load()),
+		Wall:       wall,
+		Throughput: float64(len(schedule)) / wall.Seconds(),
+		P50:        percentile(sorted, 0.50),
+		P99:        percentile(sorted, 0.99),
+		Service:    svc.Counters(),
+		Cache:      svc.CacheCounters(),
+	}
+	if total := res.Cache.Hits + res.Cache.Misses; total > 0 {
+		res.HitRate = float64(res.Cache.Hits) / float64(total)
+	}
+	return res, firstErr
+}
+
+// percentile reads the p-quantile (0..1) of an ascending-sorted slice
+// using the nearest-rank method: rank = ceil(p * n).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// E16 measures the serving layer under concurrent load: closed-loop
+// workers replay the star/snowflake mix (half the requests alpha-renamed)
+// against a fresh Service per worker count. Headline expectations (gated
+// by TestE16ServeLoad and, for the exact counters, cmd/benchcheck):
+//
+//   - cache hit rate >= 50% on every worker count (repeated and
+//     alpha-renamed shapes are served from the sharded plan cache);
+//   - total backchase runs stay at the number of distinct shapes —
+//     sublinear in the request count — because singleflight coalescing
+//     and the cache make every later request O(chase + lookup);
+//   - zero error responses.
+//
+// The workers=1 pass is fully deterministic (seeded schedule, serial
+// service), so its cache_hits / cache_misses / backchase_runs metrics are
+// gated exactly by the bench-regression pipeline; wall-clock derived
+// numbers (throughput, p50/p99) are informational — CI runners are noisy.
+func E16() (*Table, error) {
+	mix, err := ServeMix()
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID:      "E16",
+		Title:   "Optimizer-as-a-service: load replay at 1/4/16 workers",
+		Columns: []string{"workers", "requests", "errors", "wall", "req/s", "p50", "p99", "hits", "misses", "hit rate", "coalesced", "backchase runs"},
+		Metrics: map[string]float64{},
+	}
+	const requests = 160
+	for _, workers := range []int{1, 4, 16} {
+		// MinimalOnly is the serving configuration: the backchase (and
+		// hence the cache entry and every gated counter) is identical,
+		// but a cache-hit request skips re-ranking hundreds of explored
+		// lattice states it will never execute — the difference between
+		// ~50ms and ~1ms warm latency on this mix.
+		svc := service.New(service.Options{Parallelism: Parallelism, MinimalOnly: true})
+		res, err := RunLoad(context.Background(), svc, mix, LoadConfig{
+			Workers:   workers,
+			Requests:  requests,
+			AlphaRate: 0.5,
+			Seed:      16,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E16 workers=%d: %w", workers, err)
+		}
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%d", workers),
+			fmt.Sprintf("%d", res.Requests),
+			fmt.Sprintf("%d", res.Errors),
+			res.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", res.Throughput),
+			res.P50.Round(time.Microsecond).String(),
+			res.P99.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", res.Cache.Hits),
+			fmt.Sprintf("%d", res.Cache.Misses),
+			fmt.Sprintf("%.2f", res.HitRate),
+			fmt.Sprintf("%d", res.Service.Coalesced),
+			fmt.Sprintf("%d", res.Service.BackchaseRuns),
+		})
+		if workers == 1 {
+			// Deterministic pass: gated exactly by cmd/benchcheck.
+			tb.Metrics["cache_hits"] = float64(res.Cache.Hits)
+			tb.Metrics["cache_misses"] = float64(res.Cache.Misses)
+			tb.Metrics["backchase_runs"] = float64(res.Service.BackchaseRuns)
+			tb.Metrics["hit_rate"] = res.HitRate
+		}
+		tb.Metrics[fmt.Sprintf("throughput_w%d", workers)] = res.Throughput
+		tb.Metrics[fmt.Sprintf("p99_w%d_ms", workers)] = float64(res.P99.Milliseconds())
+	}
+	tb.Notes = append(tb.Notes,
+		fmt.Sprintf("mix: %d star/snowflake shapes, %d requests per worker count, alpha-rename rate 0.5, seed 16, MinimalOnly serving", len(mix), requests),
+		"workers=1 counters are deterministic and gated exactly (cache_hits, cache_misses, backchase_runs); wall-clock numbers are informational",
+		"backchase runs == distinct shapes: every other request is served by the plan cache or coalesced onto an in-progress flight")
+	return tb, nil
+}

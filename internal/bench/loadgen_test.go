@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cnb/internal/service"
+)
+
+// TestServiceLoadHarness is the CI service-load gate: 16 closed-loop
+// workers hammer one Service with the small star/snowflake/ProjDept mix
+// (half the requests alpha-renamed) and every response must succeed. Run
+// under -race this doubles as the serving layer's concurrency gate. In
+// -short mode (the CI configuration) the request count shrinks so the
+// race-instrumented run stays fast.
+func TestServiceLoadHarness(t *testing.T) {
+	mix, err := SmallServeMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests := 300
+	if testing.Short() {
+		requests = 160
+	}
+	svc := service.New(service.Options{Parallelism: 1})
+	res, err := RunLoad(context.Background(), svc, mix, LoadConfig{
+		Workers:   16,
+		Requests:  requests,
+		AlphaRate: 0.5,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("load run returned an error response: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d error responses out of %d requests", res.Errors, res.Requests)
+	}
+	if res.Requests != requests || res.Service.Requests != int64(requests) {
+		t.Errorf("request accounting off: result %d, service %d, want %d",
+			res.Requests, res.Service.Requests, requests)
+	}
+	// Singleflight + plan cache: each distinct shape backchases exactly
+	// once no matter how the 16 workers interleave — every other request
+	// is a cache hit or a coalesced waiter.
+	if got, want := res.Service.BackchaseRuns, int64(len(mix)); got != want {
+		t.Errorf("backchase runs = %d, want exactly %d (one per shape)", got, want)
+	}
+	if res.HitRate < 0.5 {
+		t.Errorf("cache hit rate %.2f below 0.5 on the replay mix", res.HitRate)
+	}
+	// Every request is accounted for as a hit, a miss, or a coalesced
+	// waiter (waiters never reach the cache).
+	total := res.Cache.Hits + res.Cache.Misses + res.Service.Coalesced
+	if total != int64(requests) {
+		t.Errorf("hits(%d) + misses(%d) + coalesced(%d) = %d, want %d",
+			res.Cache.Hits, res.Cache.Misses, res.Service.Coalesced, total, requests)
+	}
+}
+
+// TestRunLoadDeterministicAtOneWorker: two single-worker runs over fresh
+// services produce identical counter outcomes — the property that lets
+// benchcheck gate E16's workers=1 counters exactly.
+func TestRunLoadDeterministicAtOneWorker(t *testing.T) {
+	mix, err := SmallServeMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LoadConfig{Workers: 1, Requests: 60, AlphaRate: 0.5, Seed: 11}
+	run := func() *LoadResult {
+		t.Helper()
+		svc := service.New(service.Options{Parallelism: 1})
+		res, err := RunLoad(context.Background(), svc, mix, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cache.Hits != b.Cache.Hits || a.Cache.Misses != b.Cache.Misses ||
+		a.Service.BackchaseRuns != b.Service.BackchaseRuns {
+		t.Errorf("single-worker runs diverged: %+v vs %+v", a.Cache, b.Cache)
+	}
+	if a.Service.Coalesced != 0 {
+		t.Errorf("a single worker cannot coalesce, got %d", a.Service.Coalesced)
+	}
+	if a.Cache.Misses != int64(len(mix)) {
+		t.Errorf("misses = %d, want one per shape (%d)", a.Cache.Misses, len(mix))
+	}
+}
+
+// TestRunLoadRespectsContext: cancelling the run's context fails pending
+// requests instead of hanging the workers.
+func TestRunLoadRespectsContext(t *testing.T) {
+	mix, err := SmallServeMix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	var res *LoadResult
+	go func() {
+		defer close(done)
+		res, _ = RunLoad(ctx, service.New(service.Options{}), mix, LoadConfig{
+			Workers: 4, Requests: 40, AlphaRate: 0.5, Seed: 3,
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled load run did not finish")
+	}
+	if res.Errors != res.Requests {
+		t.Errorf("cancelled run: %d errors out of %d requests, want all", res.Errors, res.Requests)
+	}
+}
+
+// TestE16ServeLoad pins the headline serving claims: >= 50% cache hit
+// rate on the replay mix, backchase runs sublinear in (and exactly the
+// shape count of) the request stream, and zero error responses at every
+// worker count.
+func TestE16ServeLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 replays hundreds of requests")
+	}
+	tb, err := E16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[2] != "0" {
+			t.Errorf("workers=%s: %s error responses", row[0], row[2])
+		}
+		if row[len(row)-1] != "3" {
+			t.Errorf("workers=%s: backchase runs = %s, want 3 (one per shape)", row[0], row[len(row)-1])
+		}
+	}
+	if tb.Metrics["hit_rate"] < 0.5 {
+		t.Errorf("workers=1 hit rate %.2f below the promised 0.5", tb.Metrics["hit_rate"])
+	}
+	if tb.Metrics["backchase_runs"] >= tb.Metrics["cache_hits"] {
+		t.Errorf("backchase runs %v not sublinear vs cache hits %v",
+			tb.Metrics["backchase_runs"], tb.Metrics["cache_hits"])
+	}
+}

@@ -95,7 +95,7 @@ func TestOptimizePlanCacheReuse(t *testing.T) {
 	if second.Best == nil || first.Best == nil || second.Best.Cost != first.Best.Cost {
 		t.Error("cached optimization chose a different best plan cost")
 	}
-	if hits, _ := cache.Counters(); hits != 1 {
-		t.Errorf("cache hits = %d, want 1", hits)
+	if c := cache.Counters(); c.Hits != 1 {
+		t.Errorf("cache hits = %d, want 1", c.Hits)
 	}
 }

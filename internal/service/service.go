@@ -1,0 +1,341 @@
+// Package service is the concurrent serving layer over the chase &
+// backchase optimizer: one long-lived Service handles Optimize requests
+// from many goroutines at once, the shape the paper's universal-plan
+// optimizer takes when it runs as persistent infrastructure between
+// logical queries and physical access paths rather than as a one-shot
+// library call.
+//
+// Three mechanisms make it serve rather than serialize:
+//
+//   - the backchase plan cache (backchase.PlanCache) is a sharded true-LRU
+//     keyed by the canonical, renaming-invariant root signature, so
+//     repeated — even alpha-renamed — query shapes skip the exponential
+//     backchase entirely and concurrent shapes do not contend on one lock;
+//   - singleflight coalescing: K concurrent requests for alpha-equivalent
+//     queries trigger exactly one optimizer run and K-1 waiters, each
+//     cancellable without cancelling the flight or poisoning the cache;
+//   - atomic statistics hot-swap: SetStats installs a new cost.Stats
+//     snapshot with one pointer store and invalidates only the cache
+//     entries whose statistics fingerprint differs, so serving continues
+//     uninterrupted through a stats refresh.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cnb/internal/backchase"
+	"cnb/internal/chase"
+	"cnb/internal/core"
+	"cnb/internal/cost"
+	"cnb/internal/optimizer"
+)
+
+// Options configures a Service. The zero value is usable: uniform cost
+// defaults, exhaustive backchase, a DefaultPlanCacheSize cache across
+// DefaultPlanCacheShards shards, all cores.
+type Options struct {
+	// Parallelism is the backchase worker count per flight
+	// (0 = all cores, 1 = serial).
+	Parallelism int
+	// CacheSize bounds the plan cache (0 = backchase.DefaultPlanCacheSize,
+	// < 0 = unbounded).
+	CacheSize int
+	// CacheShards is the plan cache stripe count
+	// (0 = backchase.DefaultPlanCacheShards).
+	CacheShards int
+	// CostBounded switches the backchase to cost-bounded best-first search
+	// whenever a statistics snapshot is installed. Note that cost-bounded
+	// results are schedule-dependent subsets, so the plan cache keys them
+	// by worker count as well (see backchase cacheKey).
+	CostBounded bool
+	// Stats is the initial statistics snapshot (nil = uniform defaults).
+	// Replace it at runtime with SetStats.
+	Stats *cost.Stats
+	// MinimalOnly restricts the per-request candidate pool to backchase
+	// normal forms (optimizer.Options.MinimalOnly). The backchase itself
+	// — and therefore the cache entry — is unchanged; what it saves is
+	// the per-request phase-3 re-ranking of every explored lattice state,
+	// the dominant cost of a cache-hit request on large workloads.
+	// Serving deployments that only ever execute the chosen plan
+	// typically want this on.
+	MinimalOnly bool
+	// Chase tunes the chase budgets of every flight. Chase.Metrics, when
+	// nil, is replaced by the service's own Metrics instance so /metrics
+	// style consumers always see the chase counters.
+	Chase chase.Options
+}
+
+// Request is one optimization request. Deps and PhysicalNames play the
+// roles of optimizer.Options.Deps / PhysicalNames; they are part of the
+// coalescing key, so requests only coalesce when they agree on the
+// dependency set and the physical restriction, not merely on the query.
+type Request struct {
+	Query         *core.Query
+	Deps          []*core.Dependency
+	PhysicalNames map[string]bool
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	// Result is the full optimizer result. Coalesced responses share the
+	// flight owner's Result — treat it as read-only (the package-wide
+	// convention for plans anyway).
+	Result *optimizer.Result
+	// Coalesced reports that this request was served as a singleflight
+	// waiter on another request's optimizer run.
+	Coalesced bool
+	// CacheHit reports that the backchase phase was served from the plan
+	// cache (chase phase still ran — it is polynomial and cheap).
+	CacheHit bool
+}
+
+// Counters is a point-in-time snapshot of the service's request
+// accounting. All fields are maintained with atomics.
+type Counters struct {
+	// Requests counts Optimize calls accepted (valid query).
+	Requests int64
+	// Errors counts Optimize calls that returned an error, including
+	// waiter cancellations.
+	Errors int64
+	// Coalesced counts requests served as singleflight waiters.
+	Coalesced int64
+	// Flights counts optimizer executions started (requests minus
+	// coalesced waiters, minus requests rejected before flying).
+	Flights int64
+	// BackchaseRuns counts flights whose backchase actually enumerated
+	// the lattice rather than being served from the plan cache — the
+	// number E16 proves sublinear in the request count.
+	BackchaseRuns int64
+	// StatsSwaps counts SetStats calls.
+	StatsSwaps int64
+}
+
+// statsSnapshot pairs a statistics pointer with its precomputed
+// fingerprint so a hot path never re-renders it.
+type statsSnapshot struct {
+	stats *cost.Stats
+	fp    string
+}
+
+// Service is the concurrent optimizer server. Safe for use by any number
+// of goroutines; construct with New.
+type Service struct {
+	opts    Options
+	cache   *backchase.PlanCache
+	metrics *chase.Metrics
+	stats   atomic.Pointer[statsSnapshot]
+	group   flightGroup
+
+	// swapMu serializes cache invalidation sweeps (SetStats and the
+	// post-flight re-sweep) against snapshot installation, so a sweep
+	// always runs with the truly current fingerprint — without it a
+	// delayed sweep could carry a fingerprint already obsoleted by a
+	// later swap and drop entries that are valid under the newest
+	// snapshot. Optimize's hot path never touches it.
+	swapMu sync.Mutex
+
+	requests      atomic.Int64
+	errors        atomic.Int64
+	coalesced     atomic.Int64
+	flights       atomic.Int64
+	backchaseRuns atomic.Int64
+	statsSwaps    atomic.Int64
+}
+
+// New builds a Service.
+func New(opts Options) *Service {
+	size := opts.CacheSize
+	if size == 0 {
+		size = backchase.DefaultPlanCacheSize
+	}
+	shards := opts.CacheShards
+	if shards == 0 {
+		shards = backchase.DefaultPlanCacheShards
+	}
+	m := opts.Chase.Metrics
+	if m == nil {
+		m = &chase.Metrics{}
+	}
+	opts.Chase.Metrics = m
+	s := &Service{
+		opts:    opts,
+		cache:   backchase.NewPlanCacheSharded(size, shards),
+		metrics: m,
+	}
+	s.stats.Store(newSnapshot(opts.Stats))
+	return s
+}
+
+func newSnapshot(st *cost.Stats) *statsSnapshot {
+	snap := &statsSnapshot{stats: st}
+	if st != nil {
+		snap.fp = st.Fingerprint()
+	}
+	return snap
+}
+
+// Optimize runs Algorithm 1 on the request, coalescing with concurrent
+// alpha-equivalent requests and serving repeated shapes from the plan
+// cache. ctx cancels only this caller's wait: if other requests share the
+// flight it keeps running for them.
+func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) {
+	if req.Query == nil {
+		s.errors.Add(1)
+		return nil, fmt.Errorf("service: nil query")
+	}
+	if err := req.Query.Validate(); err != nil {
+		s.errors.Add(1)
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.requests.Add(1)
+	snap := s.stats.Load()
+	key := flightKey(req, snap.fp, s.opts.CostBounded)
+	res, coalesced, err := s.group.do(ctx, key, func(fctx context.Context) (*optimizer.Result, error) {
+		s.flights.Add(1)
+		r, err := optimizer.OptimizeContext(fctx, req.Query, optimizer.Options{
+			Deps:          req.Deps,
+			PhysicalNames: req.PhysicalNames,
+			Stats:         snap.stats,
+			CostBounded:   s.opts.CostBounded && snap.stats != nil,
+			Parallelism:   s.opts.Parallelism,
+			MinimalOnly:   s.opts.MinimalOnly,
+			Chase:         s.opts.Chase,
+			Backchase:     backchase.Options{Cache: s.cache},
+		})
+		if err == nil && !r.BackchaseCached {
+			s.backchaseRuns.Add(1)
+		}
+		// A SetStats landing mid-flight sweeps the cache before this
+		// flight's own put (tagged with the snapshot it started under)
+		// arrives, which would leave an unreachable stale-fingerprint
+		// entry alive until the next swap. Re-sweep when the snapshot
+		// moved under us: every interleaving of put and swap is covered,
+		// because whichever happens last performs an invalidation that
+		// sees the other's work. The sweep itself runs under swapMu with
+		// a re-loaded snapshot, so it always uses the current fingerprint
+		// and cannot drop entries a newer swap made valid. Only
+		// cost-bounded flights tag entries with a fingerprint, so
+		// stats-free serving never pays any of this.
+		if s.opts.CostBounded && snap.fp != "" && s.stats.Load() != snap {
+			s.swapMu.Lock()
+			if cur := s.stats.Load(); cur != snap && cur.fp != snap.fp {
+				s.cache.InvalidateStats(cur.fp)
+			}
+			s.swapMu.Unlock()
+		}
+		return r, err
+	})
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return &Response{Result: res, Coalesced: coalesced, CacheHit: res.BackchaseCached}, nil
+}
+
+// SetStats atomically installs a new statistics snapshot (nil reverts to
+// uniform defaults) and invalidates the plan-cache entries whose
+// statistics fingerprint differs from the new snapshot's; it returns the
+// number invalidated. In-flight requests finish under the snapshot they
+// started with; requests arriving after the store see the new one.
+// Statistics-independent cache entries (exhaustive backchase runs)
+// survive every swap — their Results do not depend on stats, which only
+// rank the candidates per request.
+func (s *Service) SetStats(st *cost.Stats) int {
+	snap := newSnapshot(st)
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.stats.Store(snap)
+	s.statsSwaps.Add(1)
+	return s.cache.InvalidateStats(snap.fp)
+}
+
+// Stats returns the current statistics snapshot (nil when serving with
+// uniform defaults).
+func (s *Service) Stats() *cost.Stats {
+	return s.stats.Load().stats
+}
+
+// Counters returns a snapshot of the request accounting.
+func (s *Service) Counters() Counters {
+	return Counters{
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Flights:       s.flights.Load(),
+		BackchaseRuns: s.backchaseRuns.Load(),
+		StatsSwaps:    s.statsSwaps.Load(),
+	}
+}
+
+// CacheCounters returns the plan cache's aggregated counters.
+func (s *Service) CacheCounters() backchase.CacheCounters {
+	return s.cache.Counters()
+}
+
+// CacheLen returns the number of plan-cache entries.
+func (s *Service) CacheLen() int {
+	return s.cache.Len()
+}
+
+// ChaseMetrics returns the chase work counters shared by every flight.
+func (s *Service) ChaseMetrics() *chase.Metrics {
+	return s.metrics
+}
+
+// flightKey renders everything that decides a response — the canonical
+// query signature, the dependency set, the physical restriction, the
+// statistics fingerprint and the search mode — so two requests coalesce
+// exactly when an owner's result can serve both.
+//
+// The signature comes from NormalizeBindingOrder, which canonicalizes
+// binding order and positional variable names; alpha-renamed variants of
+// one query normalize to the same signature whenever the rename
+// preserves the relative order of same-range binding ties (every uniform
+// prefix/suffix rename, and all queries without interchangeable
+// same-range bindings). An adversarial tie-reordering rename can still
+// canonicalize apart — full alpha-invariance is graph canonicalization —
+// in which case the requests simply take separate flights and cache
+// entries: results stay correct, only the coalescing/hit is missed. This
+// matches the backchase plan-cache key, which has the same property.
+//
+// This intentionally parallels (not shares) the backchase cacheKey: the
+// flight keys the *original* query before the chase while the plan cache
+// keys the universal plan after it, so the two signatures are computed
+// over different queries; only the deps rendering is repeated, and the
+// whole key build is a small slice of the ~300µs warm request
+// (BenchmarkServiceWarmOptimize).
+func flightKey(req Request, statsFP string, costBounded bool) string {
+	var b strings.Builder
+	b.WriteString(req.Query.NormalizeBindingOrder().Signature())
+	b.WriteString("\x00deps\x00")
+	for _, d := range req.Deps {
+		b.WriteString(d.String())
+		b.WriteByte('\x00')
+	}
+	b.WriteString("\x00phys\x00")
+	if req.PhysicalNames != nil {
+		names := make([]string, 0, len(req.PhysicalNames))
+		for n, ok := range req.PhysicalNames {
+			if ok {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			b.WriteString(n)
+			b.WriteByte(';')
+		}
+	} else {
+		b.WriteString("<nil>")
+	}
+	fmt.Fprintf(&b, "\x00stats\x00%s\x00cb=%v", statsFP, costBounded)
+	return b.String()
+}

@@ -1,0 +1,406 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"cnb/internal/chase"
+	"cnb/internal/cost"
+	"cnb/internal/workload"
+)
+
+// projDeptRequest builds the running example's request and an instance
+// statistics snapshot.
+func projDeptRequest(t *testing.T) (Request, *cost.Stats) {
+	t.Helper()
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pd.Generate(workload.GenOptions{NumDepts: 30, ProjsPerDept: 8, CitiBankShare: 0.1, Seed: 1})
+	return Request{
+		Query:         pd.Q,
+		Deps:          pd.AllDeps(),
+		PhysicalNames: pd.Physical.NameSet(),
+	}, cost.FromInstance(in)
+}
+
+// TestSingleflightStorm: 8 concurrent requests for the identical query
+// must trigger exactly one optimizer flight — and exactly one backchase —
+// with the other 7 served as waiters sharing the owner's result. The
+// chase work counter proves no hidden duplicate work: the storm performs
+// exactly as many chase runs as one solo optimization.
+func TestSingleflightStorm(t *testing.T) {
+	req, _ := projDeptRequest(t)
+
+	// Solo baseline: chase runs of exactly one optimization.
+	solo := New(Options{})
+	if _, err := solo.Optimize(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	baselineRuns := solo.ChaseMetrics().Runs.Load()
+	if baselineRuns == 0 {
+		t.Fatal("solo optimization recorded no chase runs — metrics not threaded")
+	}
+
+	const storm = 8
+	svc := New(Options{})
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		mu    sync.Mutex
+		costs []float64
+	)
+	start.Add(1)
+	errs := make([]error, storm)
+	for i := 0; i < storm; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			resp, err := svc.Optimize(context.Background(), req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			costs = append(costs, resp.Result.Best.Cost)
+			mu.Unlock()
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+
+	c := svc.Counters()
+	if c.Flights != 1 {
+		t.Errorf("flights = %d, want exactly 1 for an %d-way identical storm", c.Flights, storm)
+	}
+	if c.BackchaseRuns != 1 {
+		t.Errorf("backchase runs = %d, want exactly 1", c.BackchaseRuns)
+	}
+	if c.Coalesced != storm-1 {
+		t.Errorf("coalesced = %d, want %d", c.Coalesced, storm-1)
+	}
+	if c.Requests != storm || c.Errors != 0 {
+		t.Errorf("requests = %d errors = %d, want %d and 0", c.Requests, c.Errors, storm)
+	}
+	if got := svc.ChaseMetrics().Runs.Load(); got != baselineRuns {
+		t.Errorf("storm performed %d chase runs, want the solo baseline %d", got, baselineRuns)
+	}
+	for _, cst := range costs {
+		if cst != costs[0] {
+			t.Errorf("waiters saw different best costs: %v", costs)
+			break
+		}
+	}
+}
+
+// TestAlphaRenamedRequestsCoalesce: the flight key is the canonical
+// renaming-invariant signature, so concurrent alpha-renamed variants of
+// one query share a single flight.
+func TestAlphaRenamedRequestsCoalesce(t *testing.T) {
+	req, _ := projDeptRequest(t)
+	renamed := req
+	renamed.Query = req.Query.RenameVars(func(v string) string { return "zz_" + v })
+
+	svc := New(Options{})
+	var start, done sync.WaitGroup
+	start.Add(1)
+	errs := make([]error, 2)
+	for i, r := range []Request{req, renamed} {
+		done.Add(1)
+		go func(i int, r Request) {
+			defer done.Done()
+			start.Wait()
+			_, errs[i] = svc.Optimize(context.Background(), r)
+		}(i, r)
+	}
+	start.Done()
+	done.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if c := svc.Counters(); c.Flights != 1 || c.Coalesced != 1 {
+		t.Errorf("flights = %d coalesced = %d, want 1 and 1: alpha-renamed variants must share a flight", c.Flights, c.Coalesced)
+	}
+}
+
+// waitUntil polls cond for up to 10s (generous: the race detector slows
+// everything down).
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// flightRefs reads the current waiter count of the (single) in-progress
+// flight, 0 when none.
+func flightRefs(s *Service) int {
+	s.group.mu.Lock()
+	defer s.group.mu.Unlock()
+	for _, f := range s.group.flights {
+		return f.refs
+	}
+	return 0
+}
+
+// TestWaiterCancellationMidFlight: cancelling a waiter returns that
+// waiter promptly with ctx.Err() while the flight owner keeps running to
+// completion and stores a healthy cache entry.
+func TestWaiterCancellationMidFlight(t *testing.T) {
+	req, _ := projDeptRequest(t)
+	svc := New(Options{})
+
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	ownerCh := make(chan outcome, 1)
+	go func() {
+		resp, err := svc.Optimize(context.Background(), req)
+		ownerCh <- outcome{resp, err}
+	}()
+	waitUntil(t, "owner flight to start", func() bool { return flightRefs(svc) >= 1 })
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	waiterCh := make(chan outcome, 1)
+	go func() {
+		resp, err := svc.Optimize(wctx, req)
+		waiterCh <- outcome{resp, err}
+	}()
+	waitUntil(t, "waiter to join the flight", func() bool { return flightRefs(svc) >= 2 })
+
+	wcancel()
+	select {
+	case w := <-waiterCh:
+		if !errors.Is(w.err, context.Canceled) {
+			t.Errorf("cancelled waiter returned %v, want context.Canceled", w.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled waiter did not return promptly")
+	}
+
+	o := <-ownerCh
+	if o.err != nil {
+		t.Fatalf("owner was cancelled along with the waiter: %v", o.err)
+	}
+	if o.resp.Result.Best == nil {
+		t.Fatal("owner result has no best plan")
+	}
+
+	// The cache entry is healthy: the next request is a pure hit.
+	resp, err := svc.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("post-cancellation request must be served from the plan cache")
+	}
+	if c := svc.Counters(); c.BackchaseRuns != 1 {
+		t.Errorf("backchase runs = %d, want 1 (owner's only)", c.BackchaseRuns)
+	}
+}
+
+// TestLastCallerCancellationAbortsFlight: when the only interested caller
+// cancels, the flight itself is cancelled (no orphaned work) and nothing
+// poisonous is cached — a retry recomputes cleanly.
+func TestLastCallerCancellationAbortsFlight(t *testing.T) {
+	req, _ := projDeptRequest(t)
+	svc := New(Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := svc.Optimize(ctx, req)
+		errCh <- err
+	}()
+	waitUntil(t, "flight to start", func() bool { return flightRefs(svc) >= 1 })
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("sole caller returned %v, want context.Canceled", err)
+	}
+	waitUntil(t, "aborted flight to drain", func() bool {
+		svc.group.mu.Lock()
+		defer svc.group.mu.Unlock()
+		return len(svc.group.flights) == 0
+	})
+
+	resp, err := svc.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatalf("retry after aborted flight: %v", err)
+	}
+	if resp.Result.Best == nil {
+		t.Fatal("retry produced no best plan")
+	}
+	if resp.CacheHit {
+		t.Error("aborted flight must not have cached anything")
+	}
+}
+
+// TestSetStatsHotSwap: swapping the statistics snapshot keeps serving,
+// invalidates exactly the cost-bounded entries fingerprinted under the
+// old snapshot, and leaves statistics-independent entries untouched.
+func TestSetStatsHotSwap(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Query: pd.Q, Deps: pd.AllDeps(), PhysicalNames: pd.Physical.NameSet()}
+	statsA := cost.FromInstance(pd.Generate(workload.GenOptions{NumDepts: 30, ProjsPerDept: 8, CitiBankShare: 0.1, Seed: 1}))
+	statsB := cost.FromInstance(pd.Generate(workload.GenOptions{NumDepts: 60, ProjsPerDept: 5, CitiBankShare: 0.2, Seed: 2}))
+	if statsA.Fingerprint() == statsB.Fingerprint() {
+		t.Fatal("test needs two distinct statistics snapshots")
+	}
+
+	svc := New(Options{CostBounded: true, Stats: statsA, Parallelism: 1})
+	ctx := context.Background()
+	if _, err := svc.Optimize(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("repeat under stable stats must hit the plan cache")
+	}
+
+	if n := svc.SetStats(statsB); n != 1 {
+		t.Errorf("swap invalidated %d entries, want 1 (the statsA entry)", n)
+	}
+	resp, err = svc.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Error("first request after the swap must recompute under the new stats")
+	}
+	resp, err = svc.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("second request after the swap must hit the refreshed entry")
+	}
+
+	// Swapping to an equal-fingerprint snapshot invalidates nothing and
+	// keeps serving from the same entries.
+	statsB2 := cost.FromInstance(pd.Generate(workload.GenOptions{NumDepts: 60, ProjsPerDept: 5, CitiBankShare: 0.2, Seed: 2}))
+	if n := svc.SetStats(statsB2); n != 0 {
+		t.Errorf("equal-fingerprint swap invalidated %d entries, want 0", n)
+	}
+	resp, err = svc.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("equal-fingerprint swap must not drop the cache entry")
+	}
+
+	if c := svc.Counters(); c.StatsSwaps != 2 {
+		t.Errorf("stats swaps = %d, want 2", c.StatsSwaps)
+	}
+}
+
+// TestStatsSwapMidFlightLeavesNoStaleEntry: a SetStats landing while a
+// cost-bounded flight is still running must not leave that flight's
+// cache entry (tagged with the old fingerprint, hence unreachable)
+// behind. Both interleavings — entry stored before or after the swap's
+// sweep — must end with zero stale entries, so the assertion is
+// timing-independent.
+func TestStatsSwapMidFlightLeavesNoStaleEntry(t *testing.T) {
+	pd, err := workload.NewProjDept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Query: pd.Q, Deps: pd.AllDeps(), PhysicalNames: pd.Physical.NameSet()}
+	statsA := cost.FromInstance(pd.Generate(workload.GenOptions{NumDepts: 30, ProjsPerDept: 8, CitiBankShare: 0.1, Seed: 1}))
+	statsB := cost.FromInstance(pd.Generate(workload.GenOptions{NumDepts: 60, ProjsPerDept: 5, CitiBankShare: 0.2, Seed: 2}))
+
+	svc := New(Options{CostBounded: true, Stats: statsA, Parallelism: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Optimize(context.Background(), req)
+		done <- err
+	}()
+	waitUntil(t, "flight to start", func() bool { return flightRefs(svc) >= 1 })
+	svc.SetStats(statsB)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n := svc.CacheLen(); n != 0 {
+		t.Errorf("cache holds %d entries after a mid-flight swap, want 0 (stale fingerprint)", n)
+	}
+	// The next request recomputes under statsB and caches normally.
+	resp, err := svc.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Error("request after a mid-flight swap must recompute under the new stats")
+	}
+	resp, err = svc.Optimize(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("refreshed entry must serve subsequent requests")
+	}
+}
+
+// TestStatsSwapKeepsStatsFreeEntries: without cost-bounded search the
+// backchase result does not depend on statistics (they only rank
+// candidates per request), so its cache entry is stored stats-free and
+// survives every swap.
+func TestStatsSwapKeepsStatsFreeEntries(t *testing.T) {
+	req, statsA := projDeptRequest(t)
+	svc := New(Options{Stats: statsA}) // CostBounded off: exhaustive backchase
+	ctx := context.Background()
+	if _, err := svc.Optimize(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if n := svc.SetStats(nil); n != 0 {
+		t.Errorf("swap invalidated %d stats-free entries, want 0", n)
+	}
+	resp, err := svc.Optimize(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Error("stats-free entry must serve across the swap")
+	}
+}
+
+// TestChaseBudgetsThreadThrough: a service constructed with tight chase
+// budgets propagates them into flights (ErrBudget surfaces as a request
+// error, counted, not cached).
+func TestChaseBudgetsThreadThrough(t *testing.T) {
+	req, _ := projDeptRequest(t)
+	svc := New(Options{Chase: chase.Options{MaxSteps: 1}})
+	_, err := svc.Optimize(context.Background(), req)
+	var budget *chase.ErrBudget
+	if !errors.As(err, &budget) {
+		t.Fatalf("want ErrBudget through the service, got %v", err)
+	}
+	if c := svc.Counters(); c.Errors != 1 {
+		t.Errorf("errors = %d, want 1", c.Errors)
+	}
+	if svc.CacheLen() != 0 {
+		t.Error("failed flight must not populate the plan cache")
+	}
+}

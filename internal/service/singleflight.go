@@ -1,0 +1,106 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"cnb/internal/optimizer"
+)
+
+// flight is one in-progress optimization shared by every concurrent
+// request for the same flight key.
+type flight struct {
+	// done is closed by the runner goroutine after res/err are set.
+	done chan struct{}
+	res  *optimizer.Result
+	err  error
+	// refs counts the callers currently interested in the outcome
+	// (guarded by flightGroup.mu). When the last one abandons the wait,
+	// the flight itself is cancelled — nobody would consume the result.
+	refs   int
+	cancel context.CancelFunc
+}
+
+// flightGroup coalesces concurrent optimizations of alpha-equivalent
+// queries: K concurrent requests for the same flight key trigger exactly
+// one optimizer run, with K-1 callers waiting on the owner's outcome.
+//
+// Cancellation semantics: each caller waits under its own context. A
+// waiter whose context is cancelled detaches immediately — the flight
+// keeps running for the remaining callers, so one impatient client can
+// neither cancel the owner nor poison the shared outcome. The flight's
+// own context is detached from every caller's (context.WithoutCancel of
+// the first caller's, so request-scoped values still flow) and is
+// cancelled only when the last interested caller has left.
+//
+// Outcomes are not memoized here: a flight is removed from the group the
+// moment it completes. Cross-request memoization is the plan cache's job
+// — keyed and invalidated there — so a failed or cancelled flight never
+// leaves a poisoned entry behind.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// do runs fn once per key among concurrent callers. It returns fn's
+// outcome and whether this caller was coalesced onto another caller's
+// flight (false for the flight owner). All coalesced callers share the
+// owner's *optimizer.Result — read-only by package convention.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (*optimizer.Result, error)) (*optimizer.Result, bool, error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = map[string]*flight{}
+	}
+	if f, ok := g.flights[key]; ok {
+		f.refs++
+		g.mu.Unlock()
+		res, err := g.wait(ctx, key, f)
+		return res, true, err
+	}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		res, err := fn(fctx)
+		g.mu.Lock()
+		f.res, f.err = res, err
+		// Remove only our own flight: if every caller left and a fresh
+		// flight for the same key has already started, it must survive.
+		if g.flights[key] == f {
+			delete(g.flights, key)
+		}
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	res, err := g.wait(ctx, key, f)
+	return res, false, err
+}
+
+// wait blocks until the flight completes or the caller's own context is
+// cancelled, whichever comes first.
+func (g *flightGroup) wait(ctx context.Context, key string, f *flight) (*optimizer.Result, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.refs--
+		if f.refs == 0 {
+			select {
+			case <-f.done:
+				// Completed while we were acquiring the lock; the runner
+				// has already cleaned up.
+			default:
+				f.cancel()
+				if g.flights[key] == f {
+					delete(g.flights, key)
+				}
+			}
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
