@@ -44,8 +44,10 @@ BENCH_GATE_FLAGS = -parallelism 1
 # goroutines: the worker-pool backchase engine, the chase it drives
 # concurrently, the congruence closures cloned across workers, the
 # optimizer that parallelizes both, and the serving layer that coalesces
-# concurrent requests over all of them.
-RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/... ./internal/optimizer/... ./internal/service/...
+# concurrent requests over all of them. core rides along for the
+# canonicalization property/stress suite that every concurrent cache key
+# depends on.
+RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/... ./internal/optimizer/... ./internal/service/... ./internal/core/...
 
 # Where serve-smoke binds its throwaway server.
 CNBD_ADDR ?= 127.0.0.1:18343

@@ -21,10 +21,15 @@
 //     deterministic, and both chase engines are pinned to the same step
 //     sequence, so any drift means the chase itself changed behavior;
 //   - the serving-layer counters "cache_hits", "cache_misses" and
-//     "backchase_runs" (E16's workers=1 pass) are held exactly: the
-//     request schedule is seeded and the single-worker service is
-//     serial, so these counts are deterministic, and any drift means the
-//     plan cache keying, eviction or singleflight accounting changed;
+//     "backchase_runs" (the workers=1 passes of E16's order-preserving
+//     replay and E17's order-shuffling alpha-rename replay) are held
+//     exactly: the request schedules are seeded and the single-worker
+//     service is serial, so these counts are deterministic, and any
+//     drift means the plan cache keying, query canonicalization,
+//     eviction or singleflight accounting changed — in particular,
+//     E17's backchase_runs equals the distinct-shape count only while
+//     the canonical signature stays invariant under order-shuffling
+//     renames;
 //   - experiments and gated metrics present in the baseline must still
 //     exist in the current report.
 //

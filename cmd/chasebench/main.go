@@ -1,4 +1,4 @@
-// Command chasebench runs the reproduction experiments (E1–E16 of
+// Command chasebench runs the reproduction experiments (E1–E17 of
 // EXPERIMENTS.md) and prints their tables.
 //
 // Usage:

@@ -693,7 +693,7 @@ func BruteForceMinimalContext(ctx context.Context, q *core.Query, deps []*core.D
 		if !isMin {
 			continue
 		}
-		sig := c.q.NormalizeBindingOrder().Signature()
+		sig := c.q.CanonicalSignature()
 		if !seen[sig] {
 			seen[sig] = true
 			minimal = append(minimal, c.q)

@@ -605,7 +605,7 @@ func TestBruteForceAgreesOnTableauMinimization(t *testing.T) {
 	sigs := func(qs []*core.Query) map[string]bool {
 		m := map[string]bool{}
 		for _, x := range qs {
-			m[x.NormalizeBindingOrder().Signature()] = true
+			m[x.CanonicalSignature()] = true
 		}
 		return m
 	}

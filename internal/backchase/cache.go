@@ -265,8 +265,9 @@ func (c *PlanCache) Counters() CacheCounters {
 	return out
 }
 
-// cacheKey builds the lookup key: the canonical (binding-order-normalized,
-// renaming-invariant) root signature, the dependency set in order, and a
+// cacheKey builds the lookup key: the canonical root signature (invariant
+// under arbitrary alpha-renaming and binding/condition reorder — see
+// core.CanonicalSignature), the dependency set in order, and a
 // fingerprint of every option that can change the Result. In exhaustive
 // mode Parallelism is excluded — complete runs are byte-identical for
 // every worker count. In cost-bounded mode (Stats set) the explored
@@ -274,7 +275,7 @@ func (c *PlanCache) Counters() CacheCounters {
 // caller must not receive a parallel run's schedule-dependent Result.
 func cacheKey(q *core.Query, deps []*core.Dependency, opts Options) string {
 	var b strings.Builder
-	b.WriteString(q.NormalizeBindingOrder().Signature())
+	b.WriteString(q.CanonicalSignature())
 	b.WriteString("\x00deps\x00")
 	for _, d := range deps {
 		b.WriteString(d.String())

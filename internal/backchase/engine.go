@@ -462,17 +462,18 @@ func (e *engine) addPlan(cur *core.Query) {
 		// noteAchieved waits until the plan is registered below.
 		e.noteCandidate(cost)
 	}
-	psig := plan.NormalizeBindingOrder().Signature()
+	psig := plan.CanonicalSignature()
 	e.plansMu.Lock()
 	prev, dup := e.plans[psig]
 	full := e.opts.MaxPlans > 0 && len(e.plans) >= e.opts.MaxPlans
 	switch {
 	case dup:
-		// Isomorphic variants of one plan can quick-estimate slightly
-		// differently (greedy reorder tie-breaks on binding position);
-		// the entry keeps the representative with the canonical smallest
-		// rendering but the cheapest cost seen for the class, so the
-		// plan ordering and BestCost stay schedule-independent.
+		// Isomorphic variants of one plan carry different variable
+		// names (their canonical orders agree up to renaming); the
+		// entry keeps the representative with the lexicographically
+		// smallest normalized rendering but the cheapest cost seen for
+		// the class, so the plan ordering and BestCost stay
+		// schedule-independent.
 		ent := prev
 		if plan.NormalizeBindingOrder().String() < prev.q.NormalizeBindingOrder().String() {
 			ent.q = plan

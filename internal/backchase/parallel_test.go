@@ -115,7 +115,7 @@ func randomQuery(r *rand.Rand) *core.Query {
 func planSigs(qs []*core.Query) map[string]bool {
 	m := map[string]bool{}
 	for _, q := range qs {
-		m[q.NormalizeBindingOrder().Signature()] = true
+		m[q.CanonicalSignature()] = true
 	}
 	return m
 }
@@ -144,7 +144,7 @@ func matchUpToEquivalence(t *testing.T, label string, a, b []*core.Query, deps [
 	t.Helper()
 	bSigs := planSigs(b)
 	for _, p := range a {
-		if bSigs[p.NormalizeBindingOrder().Signature()] {
+		if bSigs[p.CanonicalSignature()] {
 			continue
 		}
 		found := false
@@ -213,7 +213,7 @@ func resultFingerprint(res *Result) string {
 		s += "plan:" + p.String() + "\n"
 	}
 	for _, e := range res.Explored {
-		s += "explored:" + e.NormalizeBindingOrder().Signature() + "\n"
+		s += "explored:" + e.CanonicalSignature() + "\n"
 	}
 	return s
 }
@@ -267,6 +267,65 @@ func TestDeterminismAcrossParallelism(t *testing.T) {
 			} else if fp != ref {
 				t.Errorf("case %d: parallelism %d differs\nquery:\n%s", i, par, q)
 			}
+		}
+	}
+}
+
+// scramble returns an alpha-renamed, binding-shuffled variant of q whose
+// new variable names sort in a random order relative to the binding
+// positions. randomQuery ranges are flat relation names, so every
+// binding permutation is dependency-valid.
+func scramble(q *core.Query, r *rand.Rand) *core.Query {
+	perm := r.Perm(len(q.Bindings))
+	names := map[string]string{}
+	for i, b := range q.Bindings {
+		names[b.Var] = fmt.Sprintf("y%03d", perm[i])
+	}
+	s := q.RenameVars(func(v string) string { return names[v] })
+	r.Shuffle(len(s.Bindings), func(i, j int) {
+		s.Bindings[i], s.Bindings[j] = s.Bindings[j], s.Bindings[i]
+	})
+	r.Shuffle(len(s.Conds), func(i, j int) { s.Conds[i], s.Conds[j] = s.Conds[j], s.Conds[i] })
+	return s
+}
+
+// TestDeterminismRenamedInputsAcrossParallelism extends the determinism
+// guarantee to alpha-renamed inputs: a scrambled variant of a query must
+// itself enumerate deterministically at every worker count, and its plan
+// set must coincide with the original's under the renaming-invariant
+// canonical signature — the invariant the plan cache and singleflight
+// keys rely on.
+func TestDeterminismRenamedInputsAcrossParallelism(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 15; i++ {
+		q := randomQuery(r)
+		s := scramble(q, r)
+		qdeps := randomDeps(r)
+
+		var refQ, refS string
+		var qPlans, sPlans []*core.Query
+		for _, par := range []int{1, 2, 8} {
+			resQ, err := Enumerate(q, qdeps, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("case %d parallelism %d: %v", i, par, err)
+			}
+			resS, err := Enumerate(s, qdeps, Options{Parallelism: par})
+			if err != nil {
+				t.Fatalf("case %d parallelism %d (scrambled): %v", i, par, err)
+			}
+			if fp := resultFingerprint(resQ); refQ == "" {
+				refQ, qPlans = fp, resQ.Plans
+			} else if fp != refQ {
+				t.Errorf("case %d: original query nondeterministic at parallelism %d\nquery:\n%s", i, par, q)
+			}
+			if fp := resultFingerprint(resS); refS == "" {
+				refS, sPlans = fp, resS.Plans
+			} else if fp != refS {
+				t.Errorf("case %d: scrambled query nondeterministic at parallelism %d\nquery:\n%s", i, par, s)
+			}
+		}
+		if !sameSets(planSigs(qPlans), planSigs(sPlans)) {
+			t.Errorf("case %d: canonical plan-signature sets differ between original and scrambled input\noriginal:\n%s\nscrambled:\n%s", i, q, s)
 		}
 	}
 }

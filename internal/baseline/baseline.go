@@ -102,7 +102,7 @@ func BucketRewrite(q *core.Query, views []RelView, opts chase.Options) ([]*core.
 			if err != nil {
 				return err
 			}
-			sig := min.NormalizeBindingOrder().Signature()
+			sig := min.CanonicalSignature()
 			if !seen[sig] {
 				seen[sig] = true
 				out = append(out, min)

@@ -102,6 +102,7 @@ func All() []Experiment {
 		{"E14", "Dictionary-aware bound vs scan-only bound + measured-cost calibration", E14},
 		{"E15", "Incremental chase: hom tests naive vs delta-indexed (star/snowflake)", E15},
 		{"E16", "Optimizer-as-a-service: load replay at 1/4/16 workers", E16},
+		{"E17", "Serving under order-shuffling alpha-renames (canonicalization gate)", E17},
 	}
 }
 
@@ -422,7 +423,7 @@ func normalizeAll(qs []*core.Query, deps []*core.Dependency) []*core.Query {
 	seen := map[string]bool{}
 	for _, q := range qs {
 		n := backchase.Normalize(q, deps, chase.Options{})
-		sig := n.NormalizeBindingOrder().Signature()
+		sig := n.CanonicalSignature()
 		if !seen[sig] {
 			seen[sig] = true
 			out = append(out, n)
@@ -434,11 +435,11 @@ func normalizeAll(qs []*core.Query, deps []*core.Dependency) []*core.Query {
 func sameSigSets(a, b []*core.Query) bool {
 	sa := map[string]bool{}
 	for _, q := range a {
-		sa[q.NormalizeBindingOrder().Signature()] = true
+		sa[q.CanonicalSignature()] = true
 	}
 	sb := map[string]bool{}
 	for _, q := range b {
-		sb[q.NormalizeBindingOrder().Signature()] = true
+		sb[q.CanonicalSignature()] = true
 	}
 	if len(sa) != len(sb) {
 		return false

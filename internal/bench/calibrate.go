@@ -41,7 +41,7 @@ func CandidatePool(res *backchase.Result) []*core.Query {
 	var pool []*core.Query
 	for _, qs := range [][]*core.Query{res.Plans, res.Explored} {
 		for _, q := range qs {
-			sig := q.NormalizeBindingOrder().Signature()
+			sig := q.CanonicalSignature()
 			if !seen[sig] {
 				seen[sig] = true
 				pool = append(pool, q)
@@ -128,7 +128,7 @@ func DeliveredMeasured(stats *cost.Stats, pool []*core.Query, in *instance.Insta
 	for _, q := range pool {
 		exec := stats.Reorder(planrewrite.SimplifyLookups(q))
 		est, _ := stats.Estimate(exec)
-		cands = append(cands, cand{exec: exec, est: est, sig: exec.NormalizeBindingOrder().Signature()})
+		cands = append(cands, cand{exec: exec, est: est, sig: exec.CanonicalSignature()})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].est != cands[j].est {

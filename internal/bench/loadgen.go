@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cnb/internal/backchase"
+	"cnb/internal/core"
 	"cnb/internal/service"
 	"cnb/internal/workload"
 )
@@ -37,9 +38,18 @@ type LoadConfig struct {
 	// variants of their shape (a fresh uniform variable-name prefix per
 	// request — an order-preserving rename, the kind client-side query
 	// generators emit). The serving layer keys flights and cache entries
-	// by the canonical signature, which such renames normalize away, so
-	// these must coalesce and hit exactly like verbatim repeats.
+	// by the canonical signature, which renames normalize away, so these
+	// must coalesce and hit exactly like verbatim repeats.
 	AlphaRate float64
+	// AlphaShuffle hardens the alpha renames: instead of an
+	// order-preserving prefix rename, each renamed request draws a random
+	// permutation of the variable-name order (reversals included), the
+	// adversarial case for canonicalization — a tie-break on raw variable
+	// names canonicalizes such variants apart. With a truly
+	// renaming-invariant canonical form (core.Query.CanonicalSignature)
+	// shuffled renames must coalesce and hit exactly like verbatim
+	// repeats; E17 gates exactly that.
+	AlphaShuffle bool
 	// Seed makes the request schedule (shape choice and renames)
 	// deterministic; at Workers=1 the service counters are then exact,
 	// which is what lets cmd/benchcheck gate them.
@@ -113,7 +123,8 @@ func SmallServeMix() ([]LoadQuery, error) {
 
 // buildSchedule renders the deterministic request sequence: request i
 // picks a shape and, at the alpha rate, an alpha-renamed copy with
-// request-unique variable names.
+// request-unique variable names (order-preserving by default,
+// order-shuffling when cfg.AlphaShuffle is set).
 func buildSchedule(mix []LoadQuery, cfg LoadConfig) []service.Request {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	schedule := make([]service.Request, cfg.Requests)
@@ -122,11 +133,50 @@ func buildSchedule(mix []LoadQuery, cfg LoadConfig) []service.Request {
 		req := shape.Req
 		if rng.Float64() < cfg.AlphaRate {
 			prefix := fmt.Sprintf("ld%d_", i)
-			req.Query = req.Query.RenameVars(func(v string) string { return prefix + v })
+			if cfg.AlphaShuffle {
+				req.Query = shuffleRename(req.Query, prefix, rng)
+			} else {
+				req.Query = req.Query.RenameVars(func(v string) string { return prefix + v })
+			}
 		}
 		schedule[i] = req
 	}
 	return schedule
+}
+
+// shuffleRename alpha-renames the query so that the lexicographic order
+// of its variable names is a random permutation of the original order:
+// sorted original variables v_0 < v_1 < ... map to zero-padded fresh
+// names whose sorted order realizes perm. The identity permutation is
+// explicitly skipped (when more than one variable exists), so every
+// shuffled rename genuinely reorders at least one name pair — the case a
+// raw-name canonicalization tie-break gets wrong.
+func shuffleRename(q *core.Query, prefix string, rng *rand.Rand) *core.Query {
+	vars := make([]string, 0, len(q.Bindings))
+	for _, b := range q.Bindings {
+		vars = append(vars, b.Var)
+	}
+	sort.Strings(vars)
+	perm := rng.Perm(len(vars))
+	if len(vars) > 1 {
+		for identity(perm) {
+			perm = rng.Perm(len(vars))
+		}
+	}
+	names := make(map[string]string, len(vars))
+	for j, v := range vars {
+		names[v] = fmt.Sprintf("%s%04d", prefix, perm[j])
+	}
+	return q.RenameVars(func(v string) string { return names[v] })
+}
+
+func identity(perm []int) bool {
+	for i, p := range perm {
+		if i != p {
+			return false
+		}
+	}
+	return true
 }
 
 // RunLoad replays the mix against the service with cfg.Workers closed-loop
@@ -232,13 +282,87 @@ func E16() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	return serveLoadTable("E16", "Optimizer-as-a-service: load replay at 1/4/16 workers",
+		mix, LoadConfig{AlphaRate: 0.5, Seed: 16})
+}
+
+// E17Mix extends the E16 mix with an asymmetric self-join over the
+// IndexOnly relational scenario:
+//
+//	select struct(C1: r.C, C2: s.C) from R r, R s where r.A = s.B
+//
+// Two bindings range over the same relation R, so canonicalizing the
+// binding order must break a tie between alpha-equivalent ranges — the
+// exact spot where a raw-variable-name tie-break canonicalizes
+// order-shuffled renames apart (and where swapping the bindings is NOT an
+// automorphism: the condition and output tell r and s apart). The E16
+// star/snowflake shapes never reach that tie-break (every binding ranges
+// over a distinct schema name or a distinct dependent path), which is why
+// the seed defect was invisible to E16 even under shuffled renames.
+func E17Mix() ([]LoadQuery, error) {
+	mix, err := ServeMix()
+	if err != nil {
+		return nil, err
+	}
+	io, err := workload.NewIndexOnly(5, 9)
+	if err != nil {
+		return nil, err
+	}
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("C1", core.Prj(core.V("r"), "C")),
+			core.SF("C2", core.Prj(core.V("s"), "C")),
+		),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.Name("R")},
+			{Var: "s", Range: core.Name("R")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.Prj(core.V("s"), "B")}},
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	mix = append(mix, LoadQuery{Name: "selfjoin R", Req: service.Request{Query: q, Deps: io.Deps}})
+	return mix, nil
+}
+
+// E17 is E16's adversarial twin: every request is an order-shuffling
+// alpha-rename of its shape (LoadConfig.AlphaShuffle), the rename class
+// the seed code's raw-name canonicalization tie-break split apart. With
+// the renaming-invariant canonical form the shuffled replay must behave
+// exactly like the order-preserving one: hit rate equal to a verbatim
+// repeat of the mix, backchase runs equal to the distinct-shape count.
+// The workers=1 counters are gated exactly by cmd/benchcheck, so any
+// future canonicalization regression that is invisible to
+// order-preserving renames fails CI here.
+func E17() (*Table, error) {
+	mix, err := E17Mix()
+	if err != nil {
+		return nil, err
+	}
+	// AlphaRate 0.5 mirrors E16: the verbatim half of the replay anchors
+	// the original binding/name order, so a canonicalization that depends
+	// on raw names must split the renamed half of the self-join shape
+	// into a second class (a measured extra backchase run + misses),
+	// while a renaming-invariant form keeps hit rate identical to E16's
+	// order-preserving replay. At rate 1.0 the two-variable self-join
+	// would only ever be seen reversed — one class, no split, no gate.
+	return serveLoadTable("E17", "Serving under order-shuffling alpha-renames (canonicalization gate)",
+		mix, LoadConfig{AlphaRate: 0.5, AlphaShuffle: true, Seed: 17})
+}
+
+// serveLoadTable runs the shared E16/E17 load replay: the mix against a
+// fresh Service per worker count, with the alpha-rename policy taken from
+// cfg (AlphaRate, AlphaShuffle, Seed).
+func serveLoadTable(id, title string, mix []LoadQuery, cfg LoadConfig) (*Table, error) {
 	tb := &Table{
-		ID:      "E16",
-		Title:   "Optimizer-as-a-service: load replay at 1/4/16 workers",
+		ID:      id,
+		Title:   title,
 		Columns: []string{"workers", "requests", "errors", "wall", "req/s", "p50", "p99", "hits", "misses", "hit rate", "coalesced", "backchase runs"},
 		Metrics: map[string]float64{},
 	}
 	const requests = 160
+	cfg.Requests = requests
 	for _, workers := range []int{1, 4, 16} {
 		// MinimalOnly is the serving configuration: the backchase (and
 		// hence the cache entry and every gated counter) is identical,
@@ -246,14 +370,10 @@ func E16() (*Table, error) {
 		// lattice states it will never execute — the difference between
 		// ~50ms and ~1ms warm latency on this mix.
 		svc := service.New(service.Options{Parallelism: Parallelism, MinimalOnly: true})
-		res, err := RunLoad(context.Background(), svc, mix, LoadConfig{
-			Workers:   workers,
-			Requests:  requests,
-			AlphaRate: 0.5,
-			Seed:      16,
-		})
+		cfg.Workers = workers
+		res, err := RunLoad(context.Background(), svc, mix, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("E16 workers=%d: %w", workers, err)
+			return nil, fmt.Errorf("%s workers=%d: %w", id, workers, err)
 		}
 		tb.Rows = append(tb.Rows, []string{
 			fmt.Sprintf("%d", workers),
@@ -279,8 +399,12 @@ func E16() (*Table, error) {
 		tb.Metrics[fmt.Sprintf("throughput_w%d", workers)] = res.Throughput
 		tb.Metrics[fmt.Sprintf("p99_w%d_ms", workers)] = float64(res.P99.Milliseconds())
 	}
+	renames := "order-preserving"
+	if cfg.AlphaShuffle {
+		renames = "order-shuffling"
+	}
 	tb.Notes = append(tb.Notes,
-		fmt.Sprintf("mix: %d star/snowflake shapes, %d requests per worker count, alpha-rename rate 0.5, seed 16, MinimalOnly serving", len(mix), requests),
+		fmt.Sprintf("mix: %d star/snowflake shapes, %d requests per worker count, %s alpha-rename rate %g, seed %d, MinimalOnly serving", len(mix), requests, renames, cfg.AlphaRate, cfg.Seed),
 		"workers=1 counters are deterministic and gated exactly (cache_hits, cache_misses, backchase_runs); wall-clock numbers are informational",
 		"backchase runs == distinct shapes: every other request is served by the plan cache or coalesced onto an in-progress flight")
 	return tb, nil

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -142,5 +143,41 @@ func TestE16ServeLoad(t *testing.T) {
 	if tb.Metrics["backchase_runs"] >= tb.Metrics["cache_hits"] {
 		t.Errorf("backchase runs %v not sublinear vs cache hits %v",
 			tb.Metrics["backchase_runs"], tb.Metrics["cache_hits"])
+	}
+}
+
+// TestE17ServeLoad pins the canonicalization claim end to end: under
+// order-SHUFFLING alpha-renames, over a mix that includes an asymmetric
+// self-join (the raw-name tie-break's failure shape), renamed repeats
+// must behave exactly like verbatim repeats — backchase runs equal to
+// the distinct-shape count at every worker count and a hit rate
+// matching the order-preserving replay.
+func TestE17ServeLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 replays hundreds of requests")
+	}
+	tb, err := E17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := E17Mix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := len(mix)
+	for _, row := range tb.Rows {
+		if row[2] != "0" {
+			t.Errorf("workers=%s: %s error responses", row[0], row[2])
+		}
+		if want := fmt.Sprintf("%d", shapes); row[len(row)-1] != want {
+			t.Errorf("workers=%s: backchase runs = %s, want %s (one per shape — shuffled renames must coalesce)",
+				row[0], row[len(row)-1], want)
+		}
+	}
+	if tb.Metrics["hit_rate"] < 0.95 {
+		t.Errorf("workers=1 hit rate %.3f below 0.95: shuffled renames are splitting cache classes", tb.Metrics["hit_rate"])
+	}
+	if got, want := tb.Metrics["cache_misses"], float64(shapes); got != want {
+		t.Errorf("workers=1 misses = %v, want exactly %v (one per shape)", got, want)
 	}
 }

@@ -351,10 +351,15 @@ func (q *Query) SortedNames() []string {
 	return out
 }
 
-// Signature returns a canonical string for the query that is invariant
-// under variable renaming (but not under binding reorder). It renames
-// variables to b0, b1, ... by binding position and prints the query with
-// sorted conditions. Used to deduplicate plans.
+// Signature returns a canonical string for the query at its current
+// binding order: variables are renamed to b0, b1, ... by binding
+// position and the query is printed with sorted, oriented, deduplicated
+// conditions. It is invariant under variable renaming and condition
+// reorder/flip but NOT under binding reorder — two orders of the same
+// bindings render different positional names. For the fully
+// renaming-invariant form that also canonicalizes the order — the
+// contract the plan cache and singleflight keys rely on — use
+// CanonicalSignature (canon.go).
 func (q *Query) Signature() string {
 	rename := make(map[string]*Term, len(q.Bindings))
 	for i, b := range q.Bindings {
@@ -386,48 +391,3 @@ func (q *Query) Signature() string {
 	return sb.String()
 }
 
-// NormalizeBindingOrder returns a copy of the query with bindings sorted
-// by (range string, var) while respecting dependency order: a binding that
-// mentions a variable stays after the binding introducing it. This gives a
-// canonical form for comparing plans that differ only by join order.
-func (q *Query) NormalizeBindingOrder() *Query {
-	n := len(q.Bindings)
-	used := make([]bool, n)
-	introduced := make(map[string]bool)
-	var order []Binding
-	for len(order) < n {
-		// Find the smallest (by string) unused binding whose range's
-		// variables are all introduced.
-		best := -1
-		var bestKey string
-		for i, b := range q.Bindings {
-			if used[i] {
-				continue
-			}
-			ok := true
-			for v := range b.Range.Vars() {
-				if !introduced[v] {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			key := b.Range.HashKey() + "\x00" + b.Var
-			if best == -1 || key < bestKey {
-				best, bestKey = i, key
-			}
-		}
-		if best == -1 {
-			// Cyclic dependency (invalid query); fall back to original.
-			return q.Clone()
-		}
-		used[best] = true
-		introduced[q.Bindings[best].Var] = true
-		order = append(order, q.Bindings[best])
-	}
-	out := q.Clone()
-	out.Bindings = order
-	return out
-}

@@ -191,7 +191,7 @@ func OptimizeContext(ctx context.Context, q *core.Query, opts Options) (*Result,
 	seen := map[string]bool{}
 	for _, p := range plans {
 		s := SimplifyLookups(p)
-		sig := s.NormalizeBindingOrder().Signature()
+		sig := s.CanonicalSignature()
 		if !seen[sig] {
 			seen[sig] = true
 			executable = append(executable, s)

@@ -295,16 +295,15 @@ func (s *Service) ChaseMetrics() *chase.Metrics {
 // statistics fingerprint and the search mode — so two requests coalesce
 // exactly when an owner's result can serve both.
 //
-// The signature comes from NormalizeBindingOrder, which canonicalizes
-// binding order and positional variable names; alpha-renamed variants of
-// one query normalize to the same signature whenever the rename
-// preserves the relative order of same-range binding ties (every uniform
-// prefix/suffix rename, and all queries without interchangeable
-// same-range bindings). An adversarial tie-reordering rename can still
-// canonicalize apart — full alpha-invariance is graph canonicalization —
-// in which case the requests simply take separate flights and cache
-// entries: results stay correct, only the coalescing/hit is missed. This
-// matches the backchase plan-cache key, which has the same property.
+// The signature comes from CanonicalSignature, which is invariant under
+// arbitrary variable renaming, binding reorder and condition
+// reorder/flip: it is the minimum positional signature over all
+// dependency-valid binding orders, computed by an ordered search with
+// color-refinement and automorphism pruning (core/canon.go). Any two
+// alpha-equivalent requests — including adversarial tie-reordering
+// renames of same-range self-joins — therefore coalesce onto one flight
+// and share one cache entry. This matches the backchase plan-cache key,
+// which uses the same canonical form.
 //
 // This intentionally parallels (not shares) the backchase cacheKey: the
 // flight keys the *original* query before the chase while the plan cache
@@ -314,7 +313,7 @@ func (s *Service) ChaseMetrics() *chase.Metrics {
 // (BenchmarkServiceWarmOptimize).
 func flightKey(req Request, statsFP string, costBounded bool) string {
 	var b strings.Builder
-	b.WriteString(req.Query.NormalizeBindingOrder().Signature())
+	b.WriteString(req.Query.CanonicalSignature())
 	b.WriteString("\x00deps\x00")
 	for _, d := range req.Deps {
 		b.WriteString(d.String())

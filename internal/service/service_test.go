@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cnb/internal/chase"
+	"cnb/internal/core"
 	"cnb/internal/cost"
 	"cnb/internal/workload"
 )
@@ -132,6 +133,69 @@ func TestAlphaRenamedRequestsCoalesce(t *testing.T) {
 	}
 	if c := svc.Counters(); c.Flights != 1 || c.Coalesced != 1 {
 		t.Errorf("flights = %d coalesced = %d, want 1 and 1: alpha-renamed variants must share a flight", c.Flights, c.Coalesced)
+	}
+}
+
+// TestAlphaRenamedShuffledRequestsCoalesce pins the canonicalization fix
+// on the exact shape the old raw-name tie-break got wrong: an asymmetric
+// self-join (two bindings over one relation, not interchangeable) under
+// an order-REVERSING rename. Concurrent variants must share one flight,
+// and a later renamed repeat must hit the plan cache instead of paying a
+// second backchase.
+func TestAlphaRenamedShuffledRequestsCoalesce(t *testing.T) {
+	w, err := workload.NewIndexOnly(5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &core.Query{
+		Out: core.Struct(
+			core.SF("C1", core.Prj(core.V("r"), "C")),
+			core.SF("C2", core.Prj(core.V("s"), "C")),
+		),
+		Bindings: []core.Binding{
+			{Var: "r", Range: core.Name("R")},
+			{Var: "s", Range: core.Name("R")},
+		},
+		Conds: []core.Cond{{L: core.Prj(core.V("r"), "A"), R: core.Prj(core.V("s"), "B")}},
+	}
+	req := Request{Query: q, Deps: w.Deps}
+	renamed := req
+	// r -> z, s -> a: the new names sort in the opposite order, so a
+	// binding-position tie-break keyed on raw names splits the pair.
+	renamed.Query = q.RenameVars(func(v string) string {
+		return map[string]string{"r": "z", "s": "a"}[v]
+	})
+
+	svc := New(Options{})
+	var start, done sync.WaitGroup
+	start.Add(1)
+	errs := make([]error, 2)
+	for i, r := range []Request{req, renamed} {
+		done.Add(1)
+		go func(i int, r Request) {
+			defer done.Done()
+			start.Wait()
+			_, errs[i] = svc.Optimize(context.Background(), r)
+		}(i, r)
+	}
+	start.Done()
+	done.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if c := svc.Counters(); c.Flights != 1 || c.Coalesced != 1 {
+		t.Errorf("flights = %d coalesced = %d, want 1 and 1: order-reversed renames must share a flight", c.Flights, c.Coalesced)
+	}
+
+	// A sequential renamed repeat must be a plan-cache hit: still one
+	// backchase run for the whole test.
+	if _, err := svc.Optimize(context.Background(), renamed); err != nil {
+		t.Fatal(err)
+	}
+	if c := svc.Counters(); c.BackchaseRuns != 1 {
+		t.Errorf("backchase runs = %d after renamed repeat, want 1 (plan-cache hit)", c.BackchaseRuns)
 	}
 }
 
