@@ -20,6 +20,17 @@
 #                     cheapest-cost change (see cmd/benchcheck). After an
 #                     intentional search change, regenerate the baseline
 #                     with make bench-baseline and commit it.
+#   make bench-exec - run the E18 measured-execution experiment at the
+#                     CI data tier ($(EXEC_ROWS) fact rows) under a hard
+#                     wall-clock timeout; E18 hard-fails unless the
+#                     optimizer's delivered plan beats the baseline with
+#                     an identical result set. Nightly tiers: run with
+#                     EXEC_ROWS=1000000 (or 10000000) and a larger
+#                     EXEC_TIMEOUT.
+#   make lint-docs  - godoc gate: cmd/lintdoc (a dependency-free
+#                     equivalent of revive's "exported" rule) over the
+#                     packages whose exported API is documented
+#                     contractually (engine, service, core, cost).
 #   make serve-load - race-instrumented serving gate: the 16-worker load
 #                     harness plus the singleflight storm/cancellation
 #                     suites, in -short mode so CI pays minutes, not
@@ -52,7 +63,12 @@ RACE_PKGS = ./internal/backchase/... ./internal/chase/... ./internal/congruence/
 # Where serve-smoke binds its throwaway server.
 CNBD_ADDR ?= 127.0.0.1:18343
 
-.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline cover serve-load serve-smoke
+# E18 data tier and wall-clock ceiling for bench-exec. The CI tier is
+# 10^5 fact rows; nightly runs override both.
+EXEC_ROWS ?= 100000
+EXEC_TIMEOUT ?= 600
+
+.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline bench-exec lint-docs cover serve-load serve-smoke
 
 ci: vet build test race bench-smoke
 
@@ -89,6 +105,22 @@ bench-check:
 
 bench-baseline:
 	$(GO) run ./cmd/chasebench $(BENCH_GATE_FLAGS) -json-out $(BENCH_BASELINE)
+
+# Measured execution at data scale: E18 hard-fails internally when the
+# optimized plan does not beat the baseline or the result sets differ,
+# so the target needs no output parsing — only a timeout so a pipeline
+# stall cannot hang CI. The binary is prebuilt so the timeout budget is
+# spent executing, not compiling.
+bench-exec:
+	@mkdir -p bin
+	$(GO) build -o bin/chasebench ./cmd/chasebench
+	timeout $(EXEC_TIMEOUT) ./bin/chasebench -exp E18 -parallelism 1 -exec-rows $(EXEC_ROWS)
+
+# Godoc gate over the contractually documented packages. Runs in CI's
+# lint job next to staticcheck; the tool is in-repo because the gate
+# cannot install third-party linters.
+lint-docs:
+	$(GO) run ./cmd/lintdoc ./internal/engine ./internal/service ./internal/core ./internal/cost
 
 # The CI service-load gate: the closed-loop load harness (16 workers
 # replaying the star/snowflake mix against one Service) and the

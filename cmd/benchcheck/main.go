@@ -30,12 +30,24 @@
 //     E17's backchase_runs equals the distinct-shape count only while
 //     the canonical signature stays invariant under order-shuffling
 //     renames;
+//   - every metric whose name ends in "_evals" or "_rows" (E18's
+//     measured work counters for the baseline and optimized plans) and
+//     every metric whose name ends in "_exec_skipped" (how many ranked
+//     candidates E18 had to skip as non-executable before finding one
+//     that runs) are held exactly: at a fixed seed and row tier both
+//     plans and their work profiles are pure functions of the code, so
+//     any drift means the streaming engine's operator accounting, the
+//     optimizer's candidate ranking, or the generated instance changed;
+//   - the "calibration_skipped" metric (E14's count of candidates whose
+//     measured execution was skipped as non-executable) is held exactly
+//     for the same reason — silent growth would mean calibration quietly
+//     profiles fewer plans than the search produced;
 //   - experiments and gated metrics present in the baseline must still
 //     exist in the current report.
 //
-// Wall-clock metrics (*_ms) and correlation metrics are informational
-// and never gated: they depend on the machine. Run both reports with
-// -parallelism 1 so state counts are deterministic.
+// Wall-clock metrics (*_ms), speedup ratios and correlation metrics are
+// informational and never gated: they depend on the machine. Run both
+// reports with -parallelism 1 so state counts are deterministic.
 //
 // Usage:
 //
@@ -85,12 +97,28 @@ const costTolerance = 1e-6 // relative; covers float summation noise only
 
 // exactCounters are deterministic count metrics held exactly (within
 // costTolerance, which only absorbs float encoding noise): chase step
-// counts and the serving layer's single-worker cache/flight counters.
+// counts, the serving layer's single-worker cache/flight counters, and
+// E14's calibration skip count.
 var exactCounters = map[string]bool{
-	"chase_steps":    true,
-	"cache_hits":     true,
-	"cache_misses":   true,
-	"backchase_runs": true,
+	"chase_steps":         true,
+	"cache_hits":          true,
+	"cache_misses":        true,
+	"backchase_runs":      true,
+	"calibration_skipped": true,
+}
+
+// exactSuffix reports whether a metric name carries one of the
+// exactly-gated suffixes: E18's per-plan work counters ("_evals",
+// "_rows") and its non-executable-candidate skip count
+// ("_exec_skipped") are pure functions of (seed, tier, code), so any
+// drift is a behavior change to review.
+func exactSuffix(name string) bool {
+	for _, s := range []string{"_evals", "_rows", "_exec_skipped"} {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {
@@ -129,7 +157,7 @@ func main() {
 			// exploration work and are never gated.
 			gatedStates := strings.HasSuffix(name, "_states") && !strings.Contains(name, "pruned")
 			gatedWork := strings.HasSuffix(name, "_hom_tests")
-			gatedCost := strings.HasPrefix(name, "cheapest_cost") || exactCounters[name]
+			gatedCost := strings.HasPrefix(name, "cheapest_cost") || exactCounters[name] || exactSuffix(name)
 			if !gatedStates && !gatedWork && !gatedCost {
 				continue
 			}

@@ -1,12 +1,13 @@
-// Command chasebench runs the reproduction experiments (E1–E17 of
+// Command chasebench runs the reproduction experiments (E1–E18 of
 // EXPERIMENTS.md) and prints their tables.
 //
 // Usage:
 //
-//	chasebench            # run everything
-//	chasebench -exp E1    # run one experiment
-//	chasebench -list      # list experiments
-//	chasebench -json      # also write BENCH_PR3.json (perf trajectory)
+//	chasebench                      # run everything
+//	chasebench -exp E1              # run one experiment
+//	chasebench -list                # list experiments
+//	chasebench -json                # also write BENCH_PR3.json (perf trajectory)
+//	chasebench -exp E18 -exec-rows 1000000   # E18 at a nightly data tier
 package main
 
 import (
@@ -52,9 +53,13 @@ func main() {
 		parallelism = flag.Int("parallelism", 0, "backchase worker count (0 = all cores, 1 = serial)")
 		jsonFlag    = flag.Bool("json", false, "write machine-readable results to "+defaultJSONPath)
 		jsonOut     = flag.String("json-out", "", "write machine-readable results to this path (implies -json)")
+		execRows    = flag.Int("exec-rows", 0, "fact rows for the E18 execution experiment (0 = package default, the CI tier)")
 	)
 	flag.Parse()
 	bench.Parallelism = *parallelism
+	if *execRows > 0 {
+		bench.ExecRows = *execRows
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -1,0 +1,227 @@
+// Command lintdoc is the godoc gate: a dependency-free equivalent of
+// revive's "exported" rule (the toolchain gate cannot install
+// third-party linters). It parses the package directories given as
+// arguments and fails when an exported declaration is missing a doc
+// comment or when the comment does not start with the declared name —
+// the convention godoc renders and every IDE hover relies on.
+//
+// Checked per directory (non-recursive, _test.go files excluded):
+//
+//   - the package itself must carry a package comment in at least one
+//     file;
+//   - exported functions, types, and methods on exported receivers must
+//     have a doc comment whose first word is the declared name (a
+//     leading "A", "An" or "The" article is accepted, as is a comment
+//     starting with "Deprecated:");
+//   - exported consts and vars must be documented either individually
+//     or by a comment on their enclosing const/var block.
+//
+// Usage:
+//
+//	lintdoc ./internal/engine ./internal/cost ...
+//
+// Exit status 1 when any violation is found, 2 on usage/parse errors.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// violation is one finding, carrying the position godoc-style tooling
+// (and CI log readers) expect: file:line: message.
+type violation struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lintdoc <package-dir> [<package-dir>...]")
+		os.Exit(2)
+	}
+	var all []violation
+	for _, dir := range os.Args[1:] {
+		vs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %v\n", err)
+			os.Exit(2)
+		}
+		all = append(all, vs...)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].pos.Filename != all[j].pos.Filename {
+				return all[i].pos.Filename < all[j].pos.Filename
+			}
+			return all[i].pos.Line < all[j].pos.Line
+		})
+		for _, v := range all {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", v.pos.Filename, v.pos.Line, v.msg)
+		}
+		fmt.Fprintf(os.Stderr, "lintdoc: %d undocumented exported declarations\n", len(all))
+		os.Exit(1)
+	}
+}
+
+// lintDir checks every non-test file of the single package in dir.
+func lintDir(dir string) ([]violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []violation
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		// Exported type names, so methods on unexported receivers can be
+		// skipped without resolving types.
+		exportedTypes := map[string]bool{}
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			for _, d := range f.Decls {
+				if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.TYPE {
+					for _, spec := range gd.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if ts.Name.IsExported() {
+							exportedTypes[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+		if !hasPkgDoc {
+			// Anchor the finding to some file of the package.
+			for _, f := range pkg.Files {
+				out = append(out, violation{fset.Position(f.Package),
+					fmt.Sprintf("package %s has no package comment", pkg.Name)})
+				break
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				out = append(out, lintDecl(fset, d, exportedTypes)...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintDecl checks one top-level declaration.
+func lintDecl(fset *token.FileSet, d ast.Decl, exportedTypes map[string]bool) []violation {
+	var out []violation
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedTypes[receiverTypeName(d.Recv)] {
+			return nil
+		}
+		if d.Doc == nil {
+			out = append(out, violation{fset.Position(d.Pos()),
+				fmt.Sprintf("exported %s %s has no doc comment", funcKind(d), d.Name.Name)})
+		} else if !startsWithName(d.Doc.Text(), d.Name.Name) {
+			out = append(out, violation{fset.Position(d.Pos()),
+				fmt.Sprintf("doc comment of exported %s %s does not start with its name", funcKind(d), d.Name.Name)})
+		}
+	case *ast.GenDecl:
+		switch d.Tok {
+		case token.TYPE:
+			for _, spec := range d.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if !ts.Name.IsExported() {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				if doc == nil {
+					out = append(out, violation{fset.Position(ts.Pos()),
+						fmt.Sprintf("exported type %s has no doc comment", ts.Name.Name)})
+				} else if !startsWithName(doc.Text(), ts.Name.Name) {
+					out = append(out, violation{fset.Position(ts.Pos()),
+						fmt.Sprintf("doc comment of exported type %s does not start with its name", ts.Name.Name)})
+				}
+			}
+		case token.CONST, token.VAR:
+			for _, spec := range d.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					if !name.IsExported() {
+						continue
+					}
+					// A block comment documents the whole group; the
+					// first-word rule is only enforced on per-spec docs,
+					// where one name is unambiguous.
+					if d.Doc == nil && vs.Doc == nil && vs.Comment == nil {
+						out = append(out, violation{fset.Position(name.Pos()),
+							fmt.Sprintf("exported %s %s has no doc comment (directly or on its block)", d.Tok, name.Name)})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName unwraps *T / generic instantiations to the bare
+// receiver type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// funcKind distinguishes "function" from "method" in messages.
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+// startsWithName reports whether a doc comment opens with the declared
+// name, optionally after an article, or is an explicit deprecation.
+func startsWithName(text, name string) bool {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return false
+	}
+	first := strings.TrimRight(fields[0], ":.,")
+	if first == name || strings.HasPrefix(fields[0], "Deprecated:") {
+		return true
+	}
+	switch first {
+	case "A", "An", "The":
+		if len(fields) > 1 && strings.TrimRight(fields[1], ":.,") == name {
+			return true
+		}
+	}
+	return false
+}

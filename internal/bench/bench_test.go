@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -119,6 +120,16 @@ func TestE14TightBoundAndCalibration(t *testing.T) {
 	if tb.Metrics["spearman_min"] <= 0 {
 		t.Errorf("spearman_min = %v, want > 0 (estimates must correlate with measurement)",
 			tb.Metrics["spearman_min"])
+	}
+	// The skip counter must be reported (and therefore gated in
+	// benchcheck): a silent growth here would mean calibration quietly
+	// profiles fewer candidates than the search produced.
+	skipped, ok := tb.Metrics["calibration_skipped"]
+	if !ok {
+		t.Fatal("calibration_skipped metric missing from E14")
+	}
+	if skipped < 0 || skipped != math.Trunc(skipped) {
+		t.Errorf("calibration_skipped = %v, want a non-negative integer count", skipped)
 	}
 }
 

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestE18OptimizedBeatsBaseline runs the measured-execution experiment
+// at a reduced row count (E18 itself hard-fails on result mismatch or a
+// missing speedup, so the test mostly pins the metric contract the
+// benchcheck gates rely on).
+func TestE18OptimizedBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E18 generates and executes data-scale instances")
+	}
+	old := ExecRows
+	ExecRows = 20_000
+	defer func() { ExecRows = old }()
+
+	tb, err := E18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"star", "snow"} {
+		be, bok := tb.Metrics[key+"_baseline_evals"]
+		oe, ook := tb.Metrics[key+"_optimized_evals"]
+		if !bok || !ook {
+			t.Fatalf("%s: missing eval counters in %v", key, tb.Metrics)
+		}
+		br := tb.Metrics[key+"_baseline_rows"]
+		or := tb.Metrics[key+"_optimized_rows"]
+		if oe+or >= be+br {
+			t.Errorf("%s: optimized work %v not below baseline %v", key, oe+or, be+br)
+		}
+		if sp := tb.Metrics[key+"_speedup"]; sp <= 1 {
+			t.Errorf("%s: speedup %v <= 1", key, sp)
+		}
+		if sk := tb.Metrics[key+"_exec_skipped"]; sk < 0 {
+			t.Errorf("%s: negative skip count %v", key, sk)
+		}
+	}
+
+	// Determinism of the gated counters: a second run at the same tier
+	// must reproduce them bit-for-bit.
+	tb2, err := E18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range tb.Metrics {
+		if name == "star_baseline_wall_ms" || name == "snow_baseline_wall_ms" ||
+			name == "star_optimized_wall_ms" || name == "snow_optimized_wall_ms" {
+			continue
+		}
+		if tb2.Metrics[name] != v {
+			t.Errorf("metric %s not deterministic: %v vs %v", name, v, tb2.Metrics[name])
+		}
+	}
+}

@@ -64,6 +64,10 @@ import (
 // singleflight group key on. Prefer this over
 // NormalizeBindingOrder().Signature(), which performs the same search but
 // also materializes the reordered query.
+//
+// The computation is pure — it never mutates the receiver — so any
+// number of goroutines may canonicalize the same Query concurrently,
+// which is how the serving layer keys racing requests.
 func (q *Query) CanonicalSignature() string {
 	_, sig := q.canonicalOrder()
 	return sig

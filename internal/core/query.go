@@ -14,6 +14,7 @@ type Binding struct {
 	Range *Term
 }
 
+// String renders the binding in "Range var" source syntax.
 func (b Binding) String() string { return b.Range.String() + " " + b.Var }
 
 // Cond is an equality between two paths, the only predicate form of the
@@ -22,6 +23,7 @@ type Cond struct {
 	L, R *Term
 }
 
+// String renders the condition in "L = R" source syntax.
 func (c Cond) String() string { return c.L.String() + " = " + c.R.String() }
 
 // Flip returns the symmetric condition.
@@ -390,4 +392,3 @@ func (q *Query) Signature() string {
 	sb.WriteString("out " + q.Out.Subst(rename).HashKey())
 	return sb.String()
 }
-

@@ -24,6 +24,13 @@ import (
 )
 
 // Stats holds the statistics consulted by the estimator.
+//
+// Concurrency: a Stats value is treated as immutable once constructed
+// (by NewStats/FromInstance or by filling the maps before first use) —
+// every method only reads it, so one snapshot may be shared by any
+// number of goroutines. To change statistics at runtime, build a new
+// snapshot and swap the pointer (see service.Service.SetStats); never
+// mutate a published one.
 type Stats struct {
 	// Card maps a schema name to its cardinality: number of elements for
 	// sets, number of keys for dictionaries.
@@ -702,8 +709,9 @@ func (s *Stats) Fingerprint() string {
 	return b.String()
 }
 
-// RankPlans sorts plans by estimated cost (ascending), reordering each
-// plan's bindings first. Returns the reordered plans with their costs.
+// RankedPlan is one entry of a cost-ranked candidate pool: a plan with
+// its bindings already reordered by Reorder, together with its
+// estimated cost and output cardinality.
 type RankedPlan struct {
 	Query *core.Query
 	Cost  float64

@@ -1,20 +1,24 @@
-package cost
+// An external test package: it exercises only the exported API, and
+// keeping it external lets it import internal/workload (which itself
+// imports cost for SyntheticStats) without a cycle.
+package cost_test
 
 import (
 	"testing"
 
 	"cnb/internal/core"
+	"cnb/internal/cost"
 	"cnb/internal/workload"
 )
 
-func projDeptStats(t *testing.T) *Stats {
+func projDeptStats(t *testing.T) *cost.Stats {
 	t.Helper()
 	pd, err := workload.NewProjDept()
 	if err != nil {
 		t.Fatal(err)
 	}
 	in := pd.Generate(workload.GenOptions{NumDepts: 100, ProjsPerDept: 10, CitiBankShare: 0.01, Seed: 1})
-	return FromInstance(in)
+	return cost.FromInstance(in)
 }
 
 func TestFromInstanceCardinalities(t *testing.T) {
@@ -180,7 +184,7 @@ func TestHashBuildCharge(t *testing.T) {
 }
 
 func TestDefaultStats(t *testing.T) {
-	s := NewStats()
+	s := cost.NewStats()
 	q := &core.Query{
 		Out:      core.C(true),
 		Bindings: []core.Binding{{Var: "r", Range: core.Name("Unknown")}},

@@ -1,0 +1,46 @@
+package cost
+
+import "cnb/internal/core"
+
+// buildHintCap bounds how many map slots a pre-size hint may request, so
+// a stale or wildly wrong cardinality cannot make the executor allocate
+// unbounded memory up front. 4M entries is far above every gated workload
+// tier while keeping the worst-case speculative allocation modest.
+const buildHintCap = 1 << 22
+
+// BuildSizeHint estimates how many rows a hash-join build over the given
+// range term will index, so the executor can pre-size the build table
+// and skip rehash-and-copy growth cycles on large builds. It returns 0
+// when the statistics have nothing to say (variable-dependent range,
+// unknown root name), in which case callers should size from the data.
+//
+// The hint is advisory and correctness-neutral: it only ever feeds a map
+// capacity, never a row count, so a stale value can cost memory or a
+// rehash but cannot change results. It reads only immutable fields of
+// the receiver and is safe for concurrent use, matching the service
+// layer's atomic stats-swap contract.
+func (s *Stats) BuildSizeHint(t *core.Term) int {
+	if t == nil || len(t.Vars()) > 0 {
+		return 0
+	}
+	root := t.Root()
+	if root == nil || root.Kind != core.KName {
+		return 0
+	}
+	card, ok := s.Card[root.Name]
+	if !ok || card <= 0 {
+		return 0
+	}
+	n := card
+	if t.Kind == core.KLookup {
+		// M[k] with a ground key: one bucket, sized by the entry fanout.
+		n = s.entryFanout(root.Name)
+	}
+	if n > buildHintCap {
+		n = buildHintCap
+	}
+	if n < 1 {
+		return 0
+	}
+	return int(n)
+}

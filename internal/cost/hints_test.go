@@ -1,0 +1,38 @@
+package cost
+
+import (
+	"testing"
+
+	"cnb/internal/core"
+)
+
+func TestBuildSizeHint(t *testing.T) {
+	s := NewStats()
+	s.Card["R"] = 500
+	s.Card["M"] = 100
+	s.EntryFanout["M"] = 4
+
+	cases := []struct {
+		name string
+		term *core.Term
+		want int
+	}{
+		{"relation", core.Name("R"), 500},
+		{"dict domain", core.Dom(core.Name("M")), 100},
+		{"ground lookup uses fanout", core.Lk(core.Name("M"), core.C(int64(7))), 4},
+		{"unknown name", core.Name("ZZ"), 0},
+		{"variable-dependent", core.Lk(core.Name("M"), core.Prj(core.V("x"), "K")), 0},
+		{"nil", nil, 0},
+	}
+	for _, c := range cases {
+		if got := s.BuildSizeHint(c.term); got != c.want {
+			t.Errorf("%s: BuildSizeHint = %d, want %d", c.name, got, c.want)
+		}
+	}
+
+	// The hint must stay bounded however large the stats claim.
+	s.Card["huge"] = 1e18
+	if got := s.BuildSizeHint(core.Name("huge")); got != buildHintCap {
+		t.Errorf("cap: got %d, want %d", got, buildHintCap)
+	}
+}

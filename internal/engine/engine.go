@@ -7,6 +7,21 @@
 // hash probe, not a scan, so plans like P3 (secondary-index lookup) and P4
 // (join-index navigation) run in time proportional to their result, not to
 // the base data. The E8 experiment measures exactly this difference.
+//
+// Two executors share the package: the row-at-a-time engine
+// (Compile/Execute, this file) is the measured-cost reference, and the
+// streaming batch engine (CompileStream/StreamExecute) processes
+// columnar batches with predicate pushdown, hash joins and buffered
+// pipelining at data scale. Both report the same Counters/Measure
+// currency, so the E14 calibration and the E18 gates consume either
+// engine unchanged.
+//
+// Concurrency: compiled plans and their operators are single-consumer —
+// neither a Plan nor a StreamPlan may be driven by more than one
+// goroutine at a time (buffered streaming stages spawn internal
+// producer goroutines, but the Open/Next/Close surface remains
+// single-threaded). Plans are cheap to compile; build one per
+// goroutine. Instances are read-only during execution.
 package engine
 
 import (

@@ -241,13 +241,22 @@ func starQuery(cfg StarConfig) *core.Query {
 	return q
 }
 
-// StarGenOptions sizes a generated star/snowflake instance.
+// StarGenOptions sizes a generated star/snowflake instance. Generation
+// is fully deterministic for a given options value: the same seed yields
+// the same instance at any scale, which is what lets the E18 execution
+// gates compare exact row/eval counters across machines.
 type StarGenOptions struct {
 	NumFact int   // fact rows
 	NumDim  int   // rows per dimension
 	NumSub  int   // rows per outrigger (snowflake only)
 	DomA    int   // distinct values of the dimension attribute A
-	Seed    int64 // fact foreign keys are drawn uniformly at random
+	Seed    int64 // deterministic source for the foreign-key draws
+	// ZipfS, when > 1, draws fact foreign keys from a zipf distribution
+	// with parameter s = ZipfS over the dimension keys (key 0 most
+	// frequent) instead of uniformly — the skew makes index buckets
+	// wildly uneven, which is where pre-sized hash builds and pushed-down
+	// selections earn their keep at the 10^5–10^7 row tiers.
+	ZipfS float64
 }
 
 // Generate produces a consistent instance: every fact foreign key hits a
@@ -269,14 +278,19 @@ func (s *Star) Generate(opts StarGenOptions) *instance.Instance {
 	in := instance.NewInstance()
 
 	// Dimensions (shared shape): D_i row k has A = k mod DomA and, under
-	// Snowflake, S = k mod NumSub.
-	dimRow := func(k int) *instance.Struct {
+	// Snowflake, S = k mod NumSub. Every dimension, key index, and
+	// selection index references the same row value, so each distinct row
+	// is built exactly once — at 10^7-row scale the savings from sharing
+	// immutable structs across collections dominate generation cost.
+	dimRows := make([]*instance.Struct, opts.NumDim)
+	for k := range dimRows {
 		vals := []any{"K", instance.Int(int64(k)), "A", instance.Int(int64(k % opts.DomA))}
 		if s.Cfg.Snowflake {
 			vals = append(vals, "S", instance.Int(int64(k%opts.NumSub)))
 		}
-		return instance.StructOf(vals...)
+		dimRows[k] = instance.StructOf(vals...)
 	}
+	dimRow := func(k int) *instance.Struct { return dimRows[k] }
 	for i := 0; i < s.Cfg.Dims; i++ {
 		dset := instance.NewSet()
 		for k := 0; k < opts.NumDim; k++ {
@@ -292,35 +306,40 @@ func (s *Star) Generate(opts StarGenOptions) *instance.Instance {
 		}
 	}
 
-	// Fact rows with uniform foreign keys.
+	// Fact rows: foreign keys drawn uniformly, or zipf-skewed when
+	// ZipfS > 1. Each row struct is built once and shared between the
+	// base Fact set, every FK index bucket, and the factRows bookkeeping.
+	var zipf *rand.Zipf
+	if opts.ZipfS > 1 && opts.NumDim > 1 {
+		zipf = rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.NumDim-1))
+	}
+	drawKey := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(opts.NumDim)
+	}
 	factSet := instance.NewSet()
 	type factRow struct {
 		keys []int
-		m    int
+		row  *instance.Struct
 	}
 	rows := make([]factRow, opts.NumFact)
 	for r := 0; r < opts.NumFact; r++ {
 		keys := make([]int, s.Cfg.Dims)
 		vals := make([]any, 0, 2*(s.Cfg.Dims+1))
 		for i := 0; i < s.Cfg.Dims; i++ {
-			keys[i] = rng.Intn(opts.NumDim)
+			keys[i] = drawKey()
 			vals = append(vals, factKey(i), instance.Int(int64(keys[i])))
 		}
 		vals = append(vals, "M", instance.Int(int64(r)))
-		rows[r] = factRow{keys: keys, m: r}
-		factSet.Add(instance.StructOf(vals...))
+		row := instance.StructOf(vals...)
+		rows[r] = factRow{keys: keys, row: row}
+		factSet.Add(row)
 	}
 	in.Bind("Fact", factSet)
 
-	// Foreign-key indexes FK_i: K_i value -> set of fact rows.
-	factStruct := func(r factRow) *instance.Struct {
-		vals := make([]any, 0, 2*(s.Cfg.Dims+1))
-		for i, k := range r.keys {
-			vals = append(vals, factKey(i), instance.Int(int64(k)))
-		}
-		vals = append(vals, "M", instance.Int(int64(r.m)))
-		return instance.StructOf(vals...)
-	}
+	// Foreign-key indexes FK_i: K_i value -> set of (shared) fact rows.
 	for i := 0; i < s.Cfg.FactIndexes; i++ {
 		buckets := map[int]*instance.Set{}
 		for _, r := range rows {
@@ -328,7 +347,7 @@ func (s *Star) Generate(opts StarGenOptions) *instance.Instance {
 			if buckets[k] == nil {
 				buckets[k] = instance.NewSet()
 			}
-			buckets[k].Add(factStruct(r))
+			buckets[k].Add(r.row)
 		}
 		d := instance.NewDict()
 		for k, set := range buckets {
@@ -369,14 +388,14 @@ func (s *Star) Generate(opts StarGenOptions) *instance.Instance {
 	// construction, so |V_i| = |Fact|).
 	for i := 0; i < s.Cfg.Views; i++ {
 		vset := instance.NewSet()
-		for _, r := range rows {
+		for m, r := range rows {
 			vals := make([]any, 0, 2*(s.Cfg.Dims+2))
 			for j, k := range r.keys {
 				vals = append(vals, factKey(j), instance.Int(int64(k)))
 			}
 			vals = append(vals,
 				"A", instance.Int(int64(r.keys[i]%opts.DomA)),
-				"M", instance.Int(int64(r.m)))
+				"M", instance.Int(int64(m)))
 			vset.Add(instance.StructOf(vals...))
 		}
 		in.Bind(view(i), vset)
