@@ -32,13 +32,18 @@
 #                     packages whose exported API is documented
 #                     contractually (engine, service, core, cost).
 #   make serve-load - race-instrumented serving gate: the 16-worker load
-#                     harness plus the singleflight storm/cancellation
-#                     suites, in -short mode so CI pays minutes, not
-#                     tens of minutes.
+#                     harnesses (plan-only and end-to-end /query) plus
+#                     the singleflight storm/cancellation suites and the
+#                     query-execution suites (instance hot-swap race,
+#                     mid-stream cancellation leak check, exec-error
+#                     surfacing), in -short mode so CI pays minutes,
+#                     not tens of minutes.
 #   make serve-smoke - build cnbd, start it, optimize the ProjDept
 #                     example twice over HTTP (the second round must be
-#                     a plan-cache hit), install a stats snapshot, and
-#                     shut it down. Fails on any error response.
+#                     a plan-cache hit), install a generated instance
+#                     and query it end to end (rows must come back),
+#                     install a stats snapshot, and shut it down. Fails
+#                     on any error response.
 #
 # Set GOFLAGS=-short to skip the slow paths: experiment tests skip
 # themselves and bench-smoke becomes a no-op.
@@ -122,17 +127,19 @@ bench-exec:
 lint-docs:
 	$(GO) run ./cmd/lintdoc ./internal/engine ./internal/service ./internal/core ./internal/cost
 
-# The CI service-load gate: the closed-loop load harness (16 workers
-# replaying the star/snowflake mix against one Service) and the
-# singleflight/cancellation suites, all under the race detector. -short
-# keeps the race-instrumented run to a few hundred requests.
+# The CI service-load gate: the closed-loop load harnesses (16 workers
+# replaying the star/snowflake mix against one Service, plan-only and
+# end-to-end through Service.Query) and the singleflight/cancellation
+# and query-execution suites, all under the race detector. -short keeps
+# the race-instrumented run to a few hundred requests.
 serve-load:
 	$(GO) test -race -short -count=1 \
-		-run 'TestServiceLoadHarness|TestSingleflight|TestAlphaRenamed|TestWaiterCancellation|TestLastCallerCancellation|TestSetStats|TestStatsSwap' \
-		./internal/bench ./internal/service
+		-run 'TestServiceLoadHarness|TestQueryLoadHarness|TestRunQueryLoad|TestSingleflight|TestAlphaRenamed|TestWaiterCancellation|TestLastCallerCancellation|TestSetStats|TestStatsSwap|TestQuery|TestInstallInstance' \
+		./internal/bench ./internal/service ./cmd/cnbd
 
 # End-to-end smoke of the cnbd server: start it, run the example client
 # (two optimize rounds — the second must be served from the plan cache —
+# then an instance install and two /query rounds that must return rows,
 # then a metrics dump), install a statistics snapshot, and stop it.
 serve-smoke:
 	@mkdir -p bin
@@ -148,6 +155,8 @@ serve-smoke:
 	[ "$$ok" = 1 ] || { echo "serve-smoke: cnbd did not come up" >&2; exit 1; }; \
 	$(GO) run ./examples/cnbdclient -addr http://$(CNBD_ADDR) | tee bin/serve-smoke.out; \
 	grep -q '"cache_hit": true' bin/serve-smoke.out || { echo "serve-smoke: second round was not a cache hit" >&2; exit 1; }; \
+	grep -q '"installed": true' bin/serve-smoke.out || { echo "serve-smoke: instance install did not succeed" >&2; exit 1; }; \
+	grep -q '"result_rows"' bin/serve-smoke.out || { echo "serve-smoke: /query returned no result accounting" >&2; exit 1; }; \
 	curl -sf -X POST -d '{"Card":{"Proj":5000}}' http://$(CNBD_ADDR)/stats >/dev/null; \
 	curl -sf http://$(CNBD_ADDR)/metrics >/dev/null; \
 	echo "serve-smoke: OK"

@@ -20,24 +20,28 @@
 //   - the "chase_steps" metric is held exactly: chase step counts are
 //     deterministic, and both chase engines are pinned to the same step
 //     sequence, so any drift means the chase itself changed behavior;
-//   - the serving-layer counters "cache_hits", "cache_misses" and
-//     "backchase_runs" (the workers=1 passes of E16's order-preserving
-//     replay and E17's order-shuffling alpha-rename replay) are held
-//     exactly: the request schedules are seeded and the single-worker
-//     service is serial, so these counts are deterministic, and any
-//     drift means the plan cache keying, query canonicalization,
-//     eviction or singleflight accounting changed — in particular,
-//     E17's backchase_runs equals the distinct-shape count only while
-//     the canonical signature stays invariant under order-shuffling
+//   - the serving-layer counters "cache_hits", "cache_misses",
+//     "backchase_runs" and "hit_rate" (the workers=1 passes of E16's
+//     order-preserving replay, E17's order-shuffling alpha-rename
+//     replay, and E19's end-to-end query replay) are held exactly: the
+//     request schedules are seeded and the single-worker service is
+//     serial, so these counts are deterministic, and any drift means
+//     the plan cache keying, query canonicalization, eviction or
+//     singleflight accounting changed — in particular, E17's
+//     backchase_runs equals the distinct-shape count only while the
+//     canonical signature stays invariant under order-shuffling
 //     renames;
 //   - every metric whose name ends in "_evals" or "_rows" (E18's
-//     measured work counters for the baseline and optimized plans) and
-//     every metric whose name ends in "_exec_skipped" (how many ranked
-//     candidates E18 had to skip as non-executable before finding one
-//     that runs) are held exactly: at a fixed seed and row tier both
-//     plans and their work profiles are pure functions of the code, so
-//     any drift means the streaming engine's operator accounting, the
-//     optimizer's candidate ranking, or the generated instance changed;
+//     measured work counters for the baseline and optimized plans, and
+//     E19's executed-work totals for the workers=1 serving replay —
+//     query_evals, query_rows, query_out_rows, result_rows) and every
+//     metric whose name ends in "_exec_skipped" (how many ranked
+//     candidates the delivery walk had to skip as non-executable
+//     before finding one that runs) are held exactly: at a fixed seed
+//     and row tier both plans and their work profiles are pure
+//     functions of the code, so any drift means the streaming engine's
+//     operator accounting, the optimizer's candidate ranking, or the
+//     generated instance changed;
 //   - the "calibration_skipped" metric (E14's count of candidates whose
 //     measured execution was skipped as non-executable) is held exactly
 //     for the same reason — silent growth would mean calibration quietly
@@ -97,13 +101,14 @@ const costTolerance = 1e-6 // relative; covers float summation noise only
 
 // exactCounters are deterministic count metrics held exactly (within
 // costTolerance, which only absorbs float encoding noise): chase step
-// counts, the serving layer's single-worker cache/flight counters, and
-// E14's calibration skip count.
+// counts, the serving layer's single-worker cache/flight counters and
+// hit rate, and E14's calibration skip count.
 var exactCounters = map[string]bool{
 	"chase_steps":         true,
 	"cache_hits":          true,
 	"cache_misses":        true,
 	"backchase_runs":      true,
+	"hit_rate":            true,
 	"calibration_skipped": true,
 }
 

@@ -1,30 +1,25 @@
-// Command cnbd serves the chase & backchase optimizer over HTTP: the
+// Command cnbd serves the chase & backchase optimizer — and, with a
+// registered data instance, the queries themselves — over HTTP: the
 // paper's universal-plan optimizer as persistent infrastructure rather
 // than a one-shot CLI. Requests from any number of concurrent clients
 // share one internal/service.Service — a sharded plan cache, singleflight
-// coalescing of alpha-equivalent queries, and hot-swappable statistics.
+// coalescing of alpha-equivalent queries, hot-swappable statistics and
+// named hot-swappable instances, with delivered plans executed on the
+// streaming batch engine.
 //
-// Endpoints:
-//
-//	POST /optimize  body: a cnb source document (schemas, optional
-//	                design, queries — the same syntax cmd/cnb reads).
-//	                Optimizes every query in the document and returns a
-//	                JSON summary per query. ?design=NAME picks a design
-//	                when the document declares several.
-//	POST /stats     body: a JSON cost.Stats object (field names as in
-//	                internal/cost.Stats: Card, EntryFanout, Distinct,
-//	                ...). Atomically installs the snapshot and reports
-//	                how many cache entries it invalidated. Serving
-//	                continues throughout.
-//	GET  /metrics   JSON dump of request, cache and chase counters.
-//	GET  /healthz   liveness probe.
+// Endpoints: POST /optimize, POST /stats, POST /instance, GET /instance,
+// POST /query, GET /metrics, GET /healthz. The request/response schemas,
+// error codes and curl examples live in docs/API.md — the single source
+// of truth for the HTTP surface.
 //
 // Usage:
 //
 //	cnbd [-addr :8343] [-parallelism N] [-cache-size N] [-cost-bounded]
+//	     [-query-timeout 30s]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -32,6 +27,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cnb/internal/core"
@@ -62,38 +58,82 @@ type optimizeResponse struct {
 	Queries []queryResult `json:"queries"`
 }
 
-type server struct {
-	svc   *service.Service
-	start time.Time
+// execMeasure is the executed plan's work profile, the counters
+// StreamPlan.Measure reports (see internal/engine).
+type execMeasure struct {
+	Evals   int64 `json:"evals"`
+	Rows    int64 `json:"rows"`
+	OutRows int64 `json:"out_rows"`
 }
 
-func main() {
-	var (
-		addr        = flag.String("addr", ":8343", "listen address")
-		parallelism = flag.Int("parallelism", 0, "backchase worker count per flight (0 = all cores)")
-		cacheSize   = flag.Int("cache-size", 0, "plan cache entry bound (0 = default, <0 = unbounded)")
-		cacheShards = flag.Int("cache-shards", 0, "plan cache stripe count (0 = default)")
-		costBounded = flag.Bool("cost-bounded", false, "cost-bounded best-first backchase once stats are installed")
-	)
-	flag.Parse()
+// execResult is the JSON outcome of one executed (or explained) query.
+type execResult struct {
+	Name       string      `json:"name"`
+	Plan       string      `json:"plan"`
+	EstCost    float64     `json:"est_cost"`
+	CacheHit   bool        `json:"cache_hit"`
+	Coalesced  bool        `json:"coalesced"`
+	Skipped    int         `json:"skipped,omitempty"`
+	Rows       []any       `json:"rows,omitempty"`
+	ResultRows int         `json:"result_rows"`
+	Truncated  bool        `json:"truncated,omitempty"`
+	Explain    string      `json:"explain,omitempty"`
+	Measure    execMeasure `json:"measure"`
+	PlanMS     float64     `json:"plan_ms"`
+	ExecMS     float64     `json:"exec_ms"`
+	WallMS     float64     `json:"wall_ms"`
+}
 
+type execResponse struct {
+	Instance string       `json:"instance"`
+	Design   string       `json:"design,omitempty"`
+	Queries  []execResult `json:"queries"`
+}
+
+type server struct {
+	svc          *service.Service
+	queryTimeout time.Duration
+	start        time.Time
+}
+
+// newServer builds the shared service and its HTTP mux; split from main
+// so handler tests can drive the exact production routing.
+func newServer(opts service.Options, queryTimeout time.Duration) (*server, *http.ServeMux) {
 	s := &server{
-		svc: service.New(service.Options{
-			Parallelism: *parallelism,
-			CacheSize:   *cacheSize,
-			CacheShards: *cacheShards,
-			CostBounded: *costBounded,
-		}),
-		start: time.Now(),
+		svc:          service.New(opts),
+		queryTimeout: queryTimeout,
+		start:        time.Now(),
 	}
-
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("POST /stats", s.handleStats)
+	mux.HandleFunc("POST /instance", s.handleInstance)
+	mux.HandleFunc("GET /instance", s.handleInstanceList)
+	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	return s, mux
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8343", "listen address")
+		parallelism  = flag.Int("parallelism", 0, "backchase worker count per flight (0 = all cores)")
+		cacheSize    = flag.Int("cache-size", 0, "plan cache entry bound (0 = default, <0 = unbounded)")
+		cacheShards  = flag.Int("cache-shards", 0, "plan cache stripe count (0 = default)")
+		costBounded  = flag.Bool("cost-bounded", false, "cost-bounded best-first backchase once stats are installed")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "server-side execution deadline per /query request (0 = none)")
+	)
+	flag.Parse()
+
+	_, mux := newServer(service.Options{
+		Parallelism: *parallelism,
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		CostBounded: *costBounded,
+	}, *queryTimeout)
 
 	log.Printf("cnbd listening on %s (parallelism=%d cost-bounded=%v)", *addr, *parallelism, *costBounded)
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
@@ -107,30 +147,13 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	doc, err := parser.Parse(string(src))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse: %v", err)
+	doc, deps, physNames, design, ok := parseDocument(w, r, src)
+	if !ok {
 		return
 	}
-	design, err := pickDesign(doc, r.URL.Query().Get("design"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	var deps []*core.Dependency
-	var physNames map[string]bool
 	resp := optimizeResponse{}
 	if design != nil {
-		deps = append(deps, design.Deps...)
-		physNames = design.Physical.NameSet()
 		resp.Design = design.Name
-	}
-	for _, sc := range doc.Schemas {
-		deps = append(deps, sc.Dependencies()...)
-	}
-	if len(doc.QueryOrder) == 0 {
-		httpError(w, http.StatusBadRequest, "document declares no queries")
-		return
 	}
 
 	for _, name := range doc.QueryOrder {
@@ -142,13 +165,7 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			PhysicalNames: physNames,
 		})
 		if err != nil {
-			// 499-style: the client went away; anything else is the
-			// optimizer refusing the input.
-			status := http.StatusUnprocessableEntity
-			if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-				status = http.StatusRequestTimeout
-			}
-			httpError(w, status, "query %s: %v", name, err)
+			httpError(w, errStatus(r, err), "query %s: %v", name, err)
 			return
 		}
 		qr := queryResult{
@@ -173,6 +190,148 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleQuery optimizes AND executes every query of the posted cnb
+// document against the instance named by ?instance. ?explain=1 returns
+// the streaming operator tree instead of rows, ?max_rows caps the
+// result encoding, ?timeout_ms overrides the server-side deadline.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	instName := r.URL.Query().Get("instance")
+	if instName == "" {
+		httpError(w, http.StatusBadRequest, "query: missing ?instance=NAME")
+		return
+	}
+	explain := r.URL.Query().Get("explain") != ""
+	maxRows := 0
+	if mr := r.URL.Query().Get("max_rows"); mr != "" {
+		n, err := strconv.Atoi(mr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "query: bad max_rows %q", mr)
+			return
+		}
+		maxRows = n
+	}
+	timeout := s.queryTimeout
+	if tm := r.URL.Query().Get("timeout_ms"); tm != "" {
+		n, err := strconv.Atoi(tm)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "query: bad timeout_ms %q", tm)
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+	}
+	doc, deps, physNames, design, ok := parseDocument(w, r, src)
+	if !ok {
+		return
+	}
+
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	resp := execResponse{Instance: instName}
+	if design != nil {
+		resp.Design = design.Name
+	}
+	for _, name := range doc.QueryOrder {
+		start := time.Now()
+		qres, err := s.svc.Query(ctx, service.QueryRequest{
+			Request: service.Request{
+				Query:         doc.Queries[name],
+				Deps:          deps,
+				PhysicalNames: physNames,
+			},
+			Instance: instName,
+			MaxRows:  maxRows,
+			Explain:  explain,
+		})
+		if err != nil {
+			httpError(w, errStatus(r, err), "query %s: %v", name, err)
+			return
+		}
+		er := execResult{
+			Name:       name,
+			Plan:       qres.Plan,
+			EstCost:    qres.EstCost,
+			CacheHit:   qres.Optimize.CacheHit,
+			Coalesced:  qres.Optimize.Coalesced,
+			Skipped:    qres.Skipped,
+			ResultRows: qres.ResultRows,
+			Truncated:  qres.Truncated,
+			Explain:    qres.Explain,
+			Measure: execMeasure{
+				Evals:   qres.Measure.Evals,
+				Rows:    qres.Measure.Rows,
+				OutRows: qres.Measure.OutRows,
+			},
+			PlanMS: float64(qres.PlanDur.Microseconds()) / 1000,
+			ExecMS: float64(qres.ExecDur.Microseconds()) / 1000,
+			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if !explain {
+			er.Rows = make([]any, 0, len(qres.Rows))
+			for _, v := range qres.Rows {
+				er.Rows = append(er.Rows, service.ValueJSON(v))
+			}
+		}
+		resp.Queries = append(resp.Queries, er)
+	}
+	writeJSON(w, resp)
+}
+
+// handleInstance installs (or atomically replaces) a named instance from
+// the posted spec — a workload generator spec or inline data rows (see
+// buildInstance and docs/API.md).
+func (s *server) handleInstance(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "instance: missing ?name=NAME")
+		return
+	}
+	in, err := buildInstance(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "instance: %v", err)
+		return
+	}
+	sum, err := s.svc.InstallInstance(name, in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "instance: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"installed":   true,
+		"name":        sum.Name,
+		"collections": sum.Collections,
+		"rows":        sum.Rows,
+		"cards":       sum.Cards,
+	})
+}
+
+// handleInstanceList reports the summary of every registered instance.
+func (s *server) handleInstanceList(w http.ResponseWriter, r *http.Request) {
+	sums := s.svc.Instances()
+	out := make([]map[string]any, 0, len(sums))
+	for _, sum := range sums {
+		out = append(out, map[string]any{
+			"name":        sum.Name,
+			"collections": sum.Collections,
+			"rows":        sum.Rows,
+			"cards":       sum.Cards,
+		})
+	}
+	writeJSON(w, map[string]any{"instances": out})
+}
+
 // handleStats installs a new statistics snapshot. The body is a JSON
 // object using internal/cost.Stats field names; omitted fields keep
 // NewStats defaults.
@@ -194,11 +353,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics dumps every counter the serving layer maintains.
+// handleMetrics dumps every counter the serving layer maintains,
+// including the cumulative executed-query accounting per instance.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c := s.svc.Counters()
 	cc := s.svc.CacheCounters()
 	m := s.svc.ChaseMetrics()
+	instances := map[string]any{}
+	for _, sum := range s.svc.Instances() {
+		qc, _ := s.svc.InstanceCountersFor(sum.Name)
+		instances[sum.Name] = map[string]any{
+			"collections":  sum.Collections,
+			"data_rows":    sum.Rows,
+			"queries":      qc.Queries,
+			"rows_emitted": qc.Rows,
+			"evals":        qc.Evals,
+			"exec_errors":  qc.ExecErrors,
+		}
+	}
 	writeJSON(w, map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"requests":       c.Requests,
@@ -220,7 +392,54 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"hom_tests":    m.HomTests.Load(),
 			"dep_searches": m.DepSearches.Load(),
 		},
+		"instances": instances,
 	})
+}
+
+// parseDocument parses a cnb source body and assembles the dependency
+// set shared by /optimize and /query: the picked design's deps plus
+// every schema's. On failure it writes the HTTP error itself and
+// returns ok=false.
+func parseDocument(w http.ResponseWriter, r *http.Request, src []byte) (doc *parser.Document, deps []*core.Dependency, physNames map[string]bool, design *parser.DesignResult, ok bool) {
+	doc, err := parser.Parse(string(src))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return nil, nil, nil, nil, false
+	}
+	design, err = pickDesign(doc, r.URL.Query().Get("design"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, nil, nil, nil, false
+	}
+	if design != nil {
+		deps = append(deps, design.Deps...)
+		physNames = design.Physical.NameSet()
+	}
+	for _, sc := range doc.Schemas {
+		deps = append(deps, sc.Dependencies()...)
+	}
+	if len(doc.QueryOrder) == 0 {
+		httpError(w, http.StatusBadRequest, "document declares no queries")
+		return nil, nil, nil, nil, false
+	}
+	return doc, deps, physNames, design, true
+}
+
+// errStatus maps a service error onto its HTTP status: an unknown
+// instance is the client's 404, a deadline/cancellation is 408, and
+// anything else — optimizer refusals, non-executable plans, failing
+// lookups on the instance data — is a 422.
+func errStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, service.ErrUnknownInstance):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // pickDesign mirrors cmd/cnb: an explicit name must exist; with exactly

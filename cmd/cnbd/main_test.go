@@ -1,0 +1,275 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cnb/internal/service"
+)
+
+// testServer spins the production mux behind httptest.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	_, mux := newServer(service.Options{Parallelism: 1}, 30*time.Second)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+// projDeptDoc is the paper's running example, same as examples/cnbdclient.
+const projDeptDoc = `
+schema Logical {
+  Proj  : set<{PName: string, CustName: string, PDept: string, Budg: int}>;
+  depts : set<{DName: string, DProjs: set<string>, MgrName: string}>;
+
+  constraint RIC1:
+    forall (d in depts, s in d.DProjs) exists (p in Proj) s = p.PName;
+  constraint RIC2:
+    forall (p in Proj) exists (d in depts) p.PDept = d.DName;
+  constraint INV1:
+    forall (d in depts, s in d.DProjs, p in Proj) s = p.PName -> p.PDept = d.DName;
+  constraint INV2:
+    forall (p in Proj, d in depts) p.PDept = d.DName -> exists (s in d.DProjs) p.PName = s;
+  constraint KEY1:
+    forall (a in depts, b in depts) a.DName = b.DName -> a = b;
+  constraint KEY2:
+    forall (a in Proj, b in Proj) a.PName = b.PName -> a = b;
+}
+
+design Phys over Logical {
+  store Proj;
+  classdict Dept for depts oid Doid;
+  primary index I on Proj(PName);
+  secondary index SI on Proj(CustName);
+  view JI: select struct(DOID: dd, PN: p.PName)
+           from dom(Dept) dd, Dept[dd].DProjs s, Proj p
+           where s = p.PName;
+}
+
+query Q:
+  select struct(PN: s, PB: p.Budg, DN: d.DName)
+  from depts d, d.DProjs s, Proj p
+  where s = p.PName and p.CustName = "CitiBank";
+`
+
+// TestQueryEndToEnd: install a generated ProjDept instance over HTTP,
+// then run the running-example query against it — rows come back, the
+// timing split and Measure counters are populated, and the second round
+// is a warm plan-cache hit. Finishes with /metrics carrying the
+// per-instance executed-query counters.
+func TestQueryEndToEnd(t *testing.T) {
+	ts := testServer(t)
+
+	status, inst := postJSON(t, ts.URL+"/instance?name=pd",
+		`{"workload": "projdept", "gen": {"NumDepts": 20, "ProjsPerDept": 5, "CitiBankShare": 0.3, "Seed": 5}}`)
+	if status != http.StatusOK || inst["installed"] != true {
+		t.Fatalf("install: HTTP %d %v", status, inst)
+	}
+	if inst["rows"].(float64) <= 0 || inst["collections"].(float64) < 6 {
+		t.Fatalf("install summary: %v", inst)
+	}
+
+	var firstRows float64
+	for round := 1; round <= 2; round++ {
+		status, out := postJSON(t, ts.URL+"/query?instance=pd", projDeptDoc)
+		if status != http.StatusOK {
+			t.Fatalf("round %d: HTTP %d %v", round, status, out)
+		}
+		queries := out["queries"].([]any)
+		if len(queries) != 1 {
+			t.Fatalf("round %d: %d query results", round, len(queries))
+		}
+		q := queries[0].(map[string]any)
+		rows := q["rows"].([]any)
+		if len(rows) == 0 || q["result_rows"].(float64) != float64(len(rows)) {
+			t.Fatalf("round %d: rows %d, result_rows %v", round, len(rows), q["result_rows"])
+		}
+		if round == 1 {
+			firstRows = q["result_rows"].(float64)
+		} else {
+			if q["cache_hit"] != true {
+				t.Fatalf("round 2 not a cache hit: %v", q)
+			}
+			if q["result_rows"].(float64) != firstRows {
+				t.Fatalf("round 2 rows %v != round 1 rows %v", q["result_rows"], firstRows)
+			}
+		}
+		measure := q["measure"].(map[string]any)
+		if measure["evals"].(float64) <= 0 || measure["out_rows"].(float64) <= 0 {
+			t.Fatalf("round %d: empty measure %v", round, measure)
+		}
+		if q["plan_ms"].(float64) < 0 || q["exec_ms"].(float64) < 0 || q["plan"] == "" {
+			t.Fatalf("round %d: timing/plan missing: %v", round, q)
+		}
+	}
+
+	status, metrics := getJSON(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", status)
+	}
+	pd := metrics["instances"].(map[string]any)["pd"].(map[string]any)
+	if pd["queries"].(float64) != 2 || pd["exec_errors"].(float64) != 0 {
+		t.Fatalf("per-instance metrics: %v", pd)
+	}
+	if pd["evals"].(float64) <= 0 || pd["rows_emitted"].(float64) < 0 {
+		t.Fatalf("per-instance work counters: %v", pd)
+	}
+}
+
+// TestQueryExplainAndTruncation: ?explain=1 returns the operator tree
+// without rows; ?max_rows caps the encoding and sets the flag.
+func TestQueryExplainAndTruncation(t *testing.T) {
+	ts := testServer(t)
+	if status, out := postJSON(t, ts.URL+"/instance?name=pd",
+		`{"workload": "projdept", "gen": {"NumDepts": 20, "ProjsPerDept": 5, "CitiBankShare": 0.5, "Seed": 6}}`); status != http.StatusOK {
+		t.Fatalf("install: HTTP %d %v", status, out)
+	}
+
+	status, out := postJSON(t, ts.URL+"/query?instance=pd&explain=1", projDeptDoc)
+	if status != http.StatusOK {
+		t.Fatalf("explain: HTTP %d %v", status, out)
+	}
+	q := out["queries"].([]any)[0].(map[string]any)
+	if q["explain"] == nil || q["explain"] == "" || q["rows"] != nil {
+		t.Fatalf("explain result: %v", q)
+	}
+	if q["est_cost"].(float64) <= 0 {
+		t.Fatalf("explain est_cost: %v", q["est_cost"])
+	}
+
+	status, out = postJSON(t, ts.URL+"/query?instance=pd&max_rows=2", projDeptDoc)
+	if status != http.StatusOK {
+		t.Fatalf("max_rows: HTTP %d %v", status, out)
+	}
+	q = out["queries"].([]any)[0].(map[string]any)
+	if rows := q["rows"].([]any); len(rows) != 2 || q["truncated"] != true {
+		t.Fatalf("max_rows=2: rows=%d truncated=%v", len(rows), q["truncated"])
+	}
+	if q["result_rows"].(float64) <= 2 {
+		t.Fatalf("result_rows %v should exceed the cap", q["result_rows"])
+	}
+}
+
+// TestQueryErrorStatuses: unknown instance → 404, a plan whose only
+// candidate hits a failing lookup → 422 with the counters still
+// consistent, bad parameters → 400.
+func TestQueryErrorStatuses(t *testing.T) {
+	ts := testServer(t)
+
+	if status, _ := postJSON(t, ts.URL+"/query?instance=nope", projDeptDoc); status != http.StatusNotFound {
+		t.Fatalf("unknown instance: HTTP %d, want 404", status)
+	}
+
+	// An instance whose dictionary is missing the key the only plan
+	// dereferences: the delivery walk exhausts the pool and reports 422.
+	lookupDoc := `
+schema S {
+  R : set<{A: int}>;
+  M : dict<int, int>;
+}
+query Q:
+  select M[x.A] from R x;
+`
+	status, out := postJSON(t, ts.URL+"/instance?name=hole",
+		`{"data": {"R": [{"A": 1}], "M": {"$dict": [{"key": 2, "value": 20}]}}}`)
+	if status != http.StatusOK {
+		t.Fatalf("install: HTTP %d %v", status, out)
+	}
+	status, out = postJSON(t, ts.URL+"/query?instance=hole", lookupDoc)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("failing lookup: HTTP %d %v, want 422", status, out)
+	}
+	if !strings.Contains(out["error"].(string), "no executable plan") {
+		t.Fatalf("failing lookup error: %v", out["error"])
+	}
+	_, metrics := getJSON(t, ts.URL+"/metrics")
+	hole := metrics["instances"].(map[string]any)["hole"].(map[string]any)
+	if hole["exec_errors"].(float64) != 1 || hole["queries"].(float64) != 0 {
+		t.Fatalf("counters after exec error: %v", hole)
+	}
+
+	if status, _ := postJSON(t, ts.URL+"/query", projDeptDoc); status != http.StatusBadRequest {
+		t.Fatalf("missing instance param: HTTP %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/query?instance=hole&max_rows=abc", projDeptDoc); status != http.StatusBadRequest {
+		t.Fatalf("bad max_rows: HTTP %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/query?instance=hole&timeout_ms=-1", projDeptDoc); status != http.StatusBadRequest {
+		t.Fatalf("bad timeout_ms: HTTP %d, want 400", status)
+	}
+}
+
+// TestInstanceSpecValidation: the /instance spec surface — generator
+// specs, inline data with the tagged dict/oid forms, and its rejects.
+func TestInstanceSpecValidation(t *testing.T) {
+	ts := testServer(t)
+
+	if status, _ := postJSON(t, ts.URL+"/instance", `{"workload": "projdept"}`); status != http.StatusBadRequest {
+		t.Fatalf("missing name: HTTP %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/instance?name=x", `{"workload": "unknown"}`); status != http.StatusBadRequest {
+		t.Fatalf("unknown workload: HTTP %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/instance?name=x", `{}`); status != http.StatusBadRequest {
+		t.Fatalf("empty spec: HTTP %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/instance?name=x",
+		`{"workload": "projdept", "data": {"R": []}}`); status != http.StatusBadRequest {
+		t.Fatalf("workload+data: HTTP %d, want 400", status)
+	}
+	if status, _ := postJSON(t, ts.URL+"/instance?name=x", `{"data": {"R": null}}`); status != http.StatusBadRequest {
+		t.Fatalf("null value: HTTP %d, want 400", status)
+	}
+
+	status, out := postJSON(t, ts.URL+"/instance?name=star",
+		`{"workload": "star",
+		  "config": {"Dims": 1, "FactIndexes": 1, "DimIndex": true, "Select": true, "SelectA": 2, "FKConstraints": true},
+		  "gen": {"NumFact": 500, "NumDim": 20, "DomA": 5, "Seed": 3}}`)
+	if status != http.StatusOK || out["rows"].(float64) < 500 {
+		t.Fatalf("star install: HTTP %d %v", status, out)
+	}
+	cards := out["cards"].(map[string]any)
+	if cards["Fact"].(float64) != 500 {
+		t.Fatalf("star cards: %v", cards)
+	}
+
+	status, out = getJSON(t, ts.URL+"/instance")
+	if status != http.StatusOK {
+		t.Fatalf("list: HTTP %d", status)
+	}
+	if insts := out["instances"].([]any); len(insts) != 1 {
+		t.Fatalf("list: %v", out)
+	}
+}

@@ -1,7 +1,12 @@
-// Command cnbdclient is a minimal client for the cnbd optimizer server:
-// it posts a cnb source document to POST /optimize twice — the second
-// round demonstrates the plan cache (cache_hit: true, identical best
-// plan, a fraction of the wall time) — and then dumps GET /metrics.
+// Command cnbdclient is a minimal client for the cnbd server: it posts
+// a cnb source document to POST /optimize twice — the second round
+// demonstrates the plan cache (cache_hit: true, identical best plan, a
+// fraction of the wall time) — then installs a generated ProjDept
+// instance via POST /instance and runs the same document end to end
+// through POST /query twice (rows come back, the second round is a
+// warm cache hit), and finally dumps GET /metrics with the
+// per-instance executed-query counters. The full HTTP surface is
+// documented in docs/API.md.
 //
 // Start the server, then run the client:
 //
@@ -10,7 +15,8 @@
 //
 // Pass -file to post your own document instead of the built-in ProjDept
 // example (the paper's running example, same source cmd/cnb -example
-// uses).
+// uses); note /query rounds still run against the generated ProjDept
+// instance, so a custom document must target its schema.
 package main
 
 import (
@@ -77,6 +83,18 @@ func main() {
 		fmt.Printf("--- POST /optimize (round %d) ---\n", round)
 		post(*addr+"/optimize", src)
 	}
+
+	// End-to-end: install a generated instance of the running example's
+	// schema, then execute the delivered plan against it. The second
+	// round is served from the warm plan cache ("cache_hit": true).
+	fmt.Println("--- POST /instance?name=pd ---")
+	post(*addr+"/instance?name=pd",
+		`{"workload": "projdept", "gen": {"NumDepts": 20, "ProjsPerDept": 5, "CitiBankShare": 0.3, "Seed": 5}}`)
+	for round := 1; round <= 2; round++ {
+		fmt.Printf("--- POST /query?instance=pd&max_rows=3 (round %d) ---\n", round)
+		post(*addr+"/query?instance=pd&max_rows=3", src)
+	}
+
 	fmt.Println("--- GET /metrics ---")
 	get(*addr + "/metrics")
 }

@@ -104,6 +104,7 @@ func All() []Experiment {
 		{"E16", "Optimizer-as-a-service: load replay at 1/4/16 workers", E16},
 		{"E17", "Serving under order-shuffling alpha-renames (canonicalization gate)", E17},
 		{"E18", "Measured execution at data scale: optimized vs baseline plan", E18},
+		{"E19", "End-to-end query serving: /query replay against a star instance", E19},
 	}
 }
 

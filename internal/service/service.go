@@ -18,6 +18,13 @@
 //     snapshot with one pointer store and invalidates only the cache
 //     entries whose statistics fingerprint differs, so serving continues
 //     uninterrupted through a stats refresh.
+//
+// Beyond planning, the Service also answers queries: InstallInstance
+// registers named data instances (hot-swappable exactly like SetStats),
+// and Query runs Optimize and then executes the delivered plan against
+// the named instance through the streaming batch engine, with
+// per-request cancellation, a result row cap, and Measure-based work
+// accounting (query.go, instance.go).
 package service
 
 import (
@@ -138,6 +145,10 @@ type Service struct {
 	// later swap and drop entries that are valid under the newest
 	// snapshot. Optimize's hot path never touches it.
 	swapMu sync.Mutex
+
+	// instanceRegistry holds the named data instances Query executes
+	// against (instance.go).
+	instanceRegistry
 
 	requests      atomic.Int64
 	errors        atomic.Int64
