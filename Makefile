@@ -30,7 +30,8 @@
 #   make lint-docs  - godoc gate: cmd/lintdoc (a dependency-free
 #                     equivalent of revive's "exported" rule) over the
 #                     packages whose exported API is documented
-#                     contractually (engine, service, core, cost).
+#                     contractually (engine, service, core, cost,
+#                     greedy).
 #   make serve-load - race-instrumented serving gate: the 16-worker load
 #                     harnesses (plan-only and end-to-end /query) plus
 #                     the singleflight storm/cancellation suites and the
@@ -38,6 +39,12 @@
 #                     mid-stream cancellation leak check, exec-error
 #                     surfacing), in -short mode so CI pays minutes,
 #                     not tens of minutes.
+#   make serve-cold - race-instrumented two-tier serving gate: E20's
+#                     cold-shape replay (greedy tier, detached upgrade,
+#                     differential checks) plus the tier/singleflight
+#                     detachment suites and the percentile and greedy
+#                     planner unit tests. Not -short: the cold replay
+#                     IS the gate.
 #   make serve-smoke - build cnbd, start it, optimize the ProjDept
 #                     example twice over HTTP (the second round must be
 #                     a plan-cache hit), install a generated instance
@@ -73,7 +80,7 @@ CNBD_ADDR ?= 127.0.0.1:18343
 EXEC_ROWS ?= 100000
 EXEC_TIMEOUT ?= 600
 
-.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline bench-exec lint-docs cover serve-load serve-smoke
+.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline bench-exec lint-docs cover serve-load serve-cold serve-smoke
 
 ci: vet build test race bench-smoke
 
@@ -125,7 +132,7 @@ bench-exec:
 # lint job next to staticcheck; the tool is in-repo because the gate
 # cannot install third-party linters.
 lint-docs:
-	$(GO) run ./cmd/lintdoc ./internal/engine ./internal/service ./internal/core ./internal/cost
+	$(GO) run ./cmd/lintdoc ./internal/engine ./internal/service ./internal/core ./internal/cost ./internal/greedy
 
 # The CI service-load gate: the closed-loop load harnesses (16 workers
 # replaying the star/snowflake mix against one Service, plan-only and
@@ -136,6 +143,17 @@ serve-load:
 	$(GO) test -race -short -count=1 \
 		-run 'TestServiceLoadHarness|TestQueryLoadHarness|TestRunQueryLoad|TestSingleflight|TestAlphaRenamed|TestWaiterCancellation|TestLastCallerCancellation|TestSetStats|TestStatsSwap|TestQuery|TestInstallInstance' \
 		./internal/bench ./internal/service ./cmd/cnbd
+
+# The CI two-tier serving gate: the E20 cold-shape replay (not -short —
+# the three cold backchases are the point) plus the tiering, detachment
+# and degenerate-percentile suites, all race-instrumented, and the
+# greedy planner package's full suite including the row-engine
+# differential.
+serve-cold:
+	$(GO) test -race -count=1 \
+		-run 'TestE20ColdTiered|TestTiered|TestDetachedFlight|TestWarmShape|TestPercentile|TestTieredOptimizeEndToEnd' \
+		./internal/bench ./internal/service ./cmd/cnbd
+	$(GO) test -race -count=1 ./internal/greedy
 
 # End-to-end smoke of the cnbd server: start it, run the example client
 # (two optimize rounds — the second must be served from the plan cache —

@@ -46,6 +46,11 @@
 //     measured execution was skipped as non-executable) is held exactly
 //     for the same reason — silent growth would mean calibration quietly
 //     profiles fewer plans than the search produced;
+//   - the two-tier serving counters "greedy_served" and
+//     "upgraded_flights" (E20's cold replay: one greedy-tier response
+//     per cold shape, one detached-flight upgrade per shape) are held
+//     exactly — drift means the latency-budget tiering, flight
+//     detachment or upgrade accounting changed;
 //   - experiments and gated metrics present in the baseline must still
 //     exist in the current report.
 //
@@ -102,7 +107,8 @@ const costTolerance = 1e-6 // relative; covers float summation noise only
 // exactCounters are deterministic count metrics held exactly (within
 // costTolerance, which only absorbs float encoding noise): chase step
 // counts, the serving layer's single-worker cache/flight counters and
-// hit rate, and E14's calibration skip count.
+// hit rate, E14's calibration skip count, and E20's two-tier serving
+// counters.
 var exactCounters = map[string]bool{
 	"chase_steps":         true,
 	"cache_hits":          true,
@@ -110,6 +116,8 @@ var exactCounters = map[string]bool{
 	"backchase_runs":      true,
 	"hit_rate":            true,
 	"calibration_skipped": true,
+	"greedy_served":       true,
+	"upgraded_flights":    true,
 }
 
 // exactSuffix reports whether a metric name carries one of the

@@ -12,10 +12,16 @@
 // error codes and curl examples live in docs/API.md — the single source
 // of truth for the HTTP surface.
 //
+// With -max-plan-latency set, serving is two-tiered: a request whose
+// backchase flight misses the budget is answered from the instant greedy
+// tier (tier "greedy" in /optimize and /query results) while the flight
+// continues detached and upgrades the plan cache — /metrics reports
+// greedy_served and upgraded_flights.
+//
 // Usage:
 //
 //	cnbd [-addr :8343] [-parallelism N] [-cache-size N] [-cost-bounded]
-//	     [-query-timeout 30s]
+//	     [-query-timeout 30s] [-max-plan-latency 0] [-pprof-addr addr]
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only via -pprof-addr
 	"strconv"
 	"time"
 
@@ -46,6 +53,8 @@ type queryResult struct {
 	Candidates        int     `json:"candidates"`
 	BestPlan          string  `json:"best_plan,omitempty"`
 	BestCost          float64 `json:"best_cost"`
+	Tier              string  `json:"tier"`
+	Upgraded          bool    `json:"upgraded,omitempty"`
 	CacheHit          bool    `json:"cache_hit"`
 	Coalesced         bool    `json:"coalesced"`
 	Fallback          bool    `json:"fallback,omitempty"`
@@ -71,6 +80,8 @@ type execResult struct {
 	Name       string      `json:"name"`
 	Plan       string      `json:"plan"`
 	EstCost    float64     `json:"est_cost"`
+	Tier       string      `json:"tier"`
+	Upgraded   bool        `json:"upgraded,omitempty"`
 	CacheHit   bool        `json:"cache_hit"`
 	Coalesced  bool        `json:"coalesced"`
 	Skipped    int         `json:"skipped,omitempty"`
@@ -125,17 +136,31 @@ func main() {
 		cacheShards  = flag.Int("cache-shards", 0, "plan cache stripe count (0 = default)")
 		costBounded  = flag.Bool("cost-bounded", false, "cost-bounded best-first backchase once stats are installed")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "server-side execution deadline per /query request (0 = none)")
+		maxPlanLat   = flag.Duration("max-plan-latency", 0, "plan-latency SLO: serve the greedy tier when the backchase flight misses this budget (0 = synchronous)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
 
 	_, mux := newServer(service.Options{
-		Parallelism: *parallelism,
-		CacheSize:   *cacheSize,
-		CacheShards: *cacheShards,
-		CostBounded: *costBounded,
+		Parallelism:    *parallelism,
+		CacheSize:      *cacheSize,
+		CacheShards:    *cacheShards,
+		CostBounded:    *costBounded,
+		MaxPlanLatency: *maxPlanLat,
 	}, *queryTimeout)
 
-	log.Printf("cnbd listening on %s (parallelism=%d cost-bounded=%v)", *addr, *parallelism, *costBounded)
+	if *pprofAddr != "" {
+		// The pprof handlers self-register on DefaultServeMux (blank
+		// import above); serving them on their own listener keeps the
+		// profiling surface off the public API address.
+		go func() {
+			log.Printf("pprof listening on %s (e.g. go tool pprof http://%s/debug/pprof/profile?seconds=10)", *pprofAddr, *pprofAddr)
+			srv := &http.Server{Addr: *pprofAddr, Handler: http.DefaultServeMux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("pprof server stopped: %v", srv.ListenAndServe())
+		}()
+	}
+
+	log.Printf("cnbd listening on %s (parallelism=%d cost-bounded=%v max-plan-latency=%v)", *addr, *parallelism, *costBounded, *maxPlanLat)
 	srv := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(srv.ListenAndServe())
 }
@@ -175,6 +200,8 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			States:            res.Result.States,
 			MinimalPlans:      len(res.Result.Minimal),
 			Candidates:        len(res.Result.Candidates),
+			Tier:              string(res.Tier),
+			Upgraded:          res.Upgraded,
 			CacheHit:          res.CacheHit,
 			Coalesced:         res.Coalesced,
 			Fallback:          res.Result.Fallback,
@@ -259,6 +286,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Name:       name,
 			Plan:       qres.Plan,
 			EstCost:    qres.EstCost,
+			Tier:       string(qres.Optimize.Tier),
+			Upgraded:   qres.Optimize.Upgraded,
 			CacheHit:   qres.Optimize.CacheHit,
 			Coalesced:  qres.Optimize.Coalesced,
 			Skipped:    qres.Skipped,
@@ -372,13 +401,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, map[string]any{
-		"uptime_seconds": time.Since(s.start).Seconds(),
-		"requests":       c.Requests,
-		"errors":         c.Errors,
-		"coalesced":      c.Coalesced,
-		"flights":        c.Flights,
-		"backchase_runs": c.BackchaseRuns,
-		"stats_swaps":    c.StatsSwaps,
+		"uptime_seconds":   time.Since(s.start).Seconds(),
+		"requests":         c.Requests,
+		"errors":           c.Errors,
+		"coalesced":        c.Coalesced,
+		"flights":          c.Flights,
+		"backchase_runs":   c.BackchaseRuns,
+		"stats_swaps":      c.StatsSwaps,
+		"greedy_served":    c.GreedyServed,
+		"upgraded_flights": c.Upgraded,
 		"cache": map[string]any{
 			"hits":        cc.Hits,
 			"misses":      cc.Misses,

@@ -273,3 +273,79 @@ func TestInstanceSpecValidation(t *testing.T) {
 		t.Fatalf("list: %v", out)
 	}
 }
+
+// TestTieredOptimizeEndToEnd: with -max-plan-latency below the cold
+// planning time a cold /optimize is served by the greedy tier; the
+// detached flight upgrades the cache, /metrics counts both sides, and a
+// later request serves the backchase plan marked upgraded. The budget is
+// set adaptively from a measured synchronous cold run so the test holds
+// on any machine speed and under the race detector.
+func TestTieredOptimizeEndToEnd(t *testing.T) {
+	// Synchronous reference: cold planning wall clock and tier tag.
+	_, syncMux := newServer(service.Options{Parallelism: 1}, 30*time.Second)
+	syncTS := httptest.NewServer(syncMux)
+	t.Cleanup(syncTS.Close)
+	status, out := postJSON(t, syncTS.URL+"/optimize", projDeptDoc)
+	if status != http.StatusOK {
+		t.Fatalf("sync optimize: HTTP %d: %v", status, out)
+	}
+	q := out["queries"].([]any)[0].(map[string]any)
+	if q["tier"] != "backchase" {
+		t.Fatalf("synchronous tier = %v, want backchase", q["tier"])
+	}
+	coldMS := q["wall_ms"].(float64)
+
+	// A quarter of the cold time: far below cold (greedy tier on cold
+	// requests), comfortably above the warm path (~cold/10).
+	budget := time.Duration(coldMS/4*1000) * time.Microsecond
+	_, mux := newServer(service.Options{Parallelism: 1, MaxPlanLatency: budget}, 30*time.Second)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	status, out = postJSON(t, ts.URL+"/optimize", projDeptDoc)
+	if status != http.StatusOK {
+		t.Fatalf("optimize: HTTP %d: %v", status, out)
+	}
+	q = out["queries"].([]any)[0].(map[string]any)
+	if q["tier"] != "greedy" {
+		t.Fatalf("cold tier = %v, want greedy (budget %v, sync cold %.1fms)", q["tier"], budget, coldMS)
+	}
+	if q["best_plan"] == nil || q["best_plan"] == "" {
+		t.Fatal("greedy tier returned no plan")
+	}
+
+	// The detached flight lands on its own schedule; poll the metrics.
+	deadline := time.Now().Add(30 * time.Second)
+	var metrics map[string]any
+	for {
+		_, metrics = getJSON(t, ts.URL+"/metrics")
+		if metrics["upgraded_flights"].(float64) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no upgrade within deadline: %v", metrics)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if metrics["greedy_served"].(float64) < 1 {
+		t.Fatalf("greedy_served missing from /metrics: %v", metrics)
+	}
+
+	// Warm, upgraded request. The warm path normally lands well inside
+	// the budget; tolerate stray greedy responses while polling.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		_, out = postJSON(t, ts.URL+"/optimize", projDeptDoc)
+		q = out["queries"].([]any)[0].(map[string]any)
+		if q["tier"] == "backchase" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("warm request never served the backchase tier: %v", q)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if q["upgraded"] != true || q["cache_hit"] != true {
+		t.Fatalf("post-upgrade response: upgraded=%v cache_hit=%v, want true/true", q["upgraded"], q["cache_hit"])
+	}
+}

@@ -105,6 +105,7 @@ func All() []Experiment {
 		{"E17", "Serving under order-shuffling alpha-renames (canonicalization gate)", E17},
 		{"E18", "Measured execution at data scale: optimized vs baseline plan", E18},
 		{"E19", "End-to-end query serving: /query replay against a star instance", E19},
+		{"E20", "Two-tier cold serving: greedy instant tier + detached backchase upgrade", E20},
 	}
 }
 

@@ -246,10 +246,21 @@ func RunLoad(ctx context.Context, svc *service.Service, mix []LoadQuery, cfg Loa
 }
 
 // percentile reads the p-quantile (0..1) of an ascending-sorted slice
-// using the nearest-rank method: rank = ceil(p * n).
+// using the nearest-rank method: rank = ceil(p * n). Degenerate windows
+// are answered, never panicked on: an empty window reports 0 (a
+// zero-request replay bucket has no latency, not a garbage one), a
+// single-sample window reports its sample for every p, and p outside
+// [0, 1] — including NaN, whose int conversion is platform-defined —
+// clamps to the window's min/max rather than indexing out of range.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) || p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
 	}
 	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
 	if idx < 0 {

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -179,5 +180,41 @@ func TestE17ServeLoad(t *testing.T) {
 	}
 	if got, want := tb.Metrics["cache_misses"], float64(shapes); got != want {
 		t.Errorf("workers=1 misses = %v, want exactly %v (one per shape)", got, want)
+	}
+}
+
+// TestPercentileDegenerateWindows: the nearest-rank helper must answer —
+// not panic or report garbage — on empty windows, single samples and
+// out-of-range or NaN quantiles, because a zero-request replay bucket
+// (e.g. a mix entry a schedule never drew) produces exactly these
+// inputs.
+func TestPercentileDegenerateWindows(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	window := []time.Duration{ms(1), ms(2), ms(3), ms(4)}
+	for _, tc := range []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"empty p50", nil, 0.50, 0},
+		{"empty p99", []time.Duration{}, 0.99, 0},
+		{"empty NaN", nil, math.NaN(), 0},
+		{"single p0", []time.Duration{ms(7)}, 0, ms(7)},
+		{"single p50", []time.Duration{ms(7)}, 0.50, ms(7)},
+		{"single p99", []time.Duration{ms(7)}, 0.99, ms(7)},
+		{"single p1", []time.Duration{ms(7)}, 1, ms(7)},
+		{"NaN clamps to min", window, math.NaN(), ms(1)},
+		{"negative clamps to min", window, -0.5, ms(1)},
+		{"above one clamps to max", window, 1.5, ms(4)},
+		{"p25 nearest rank", window, 0.25, ms(1)},
+		{"p50 nearest rank", window, 0.50, ms(2)},
+		{"p75 nearest rank", window, 0.75, ms(3)},
+		{"p99 nearest rank", window, 0.99, ms(4)},
+		{"p1 is max", window, 1, ms(4)},
+	} {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(%v, %v) = %v, want %v", tc.name, tc.sorted, tc.p, got, tc.want)
+		}
 	}
 }

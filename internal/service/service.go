@@ -19,6 +19,14 @@
 //     entries whose statistics fingerprint differs, so serving continues
 //     uninterrupted through a stats refresh.
 //
+// With Options.MaxPlanLatency set, serving is additionally two-tiered:
+// a request whose backchase flight has not landed within the budget is
+// answered immediately from the instant tier (internal/greedy — a
+// statistics-free, always-correct join order built in microseconds),
+// while the flight continues detached and upgrades the plan cache when
+// it lands, so the shape's later requests serve the backchase-cheapest
+// plan. Response.Tier says which tier answered.
+//
 // Beyond planning, the Service also answers queries: InstallInstance
 // registers named data instances (hot-swappable exactly like SetStats),
 // and Query runs Optimize and then executes the delivered plan against
@@ -34,11 +42,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cnb/internal/backchase"
 	"cnb/internal/chase"
 	"cnb/internal/core"
 	"cnb/internal/cost"
+	"cnb/internal/greedy"
 	"cnb/internal/optimizer"
 )
 
@@ -75,7 +85,30 @@ type Options struct {
 	// nil, is replaced by the service's own Metrics instance so /metrics
 	// style consumers always see the chase counters.
 	Chase chase.Options
+	// MaxPlanLatency, when positive, is the plan-latency SLO that turns
+	// on two-tier serving: Optimize waits at most this long for the
+	// backchase flight to land and otherwise answers immediately with the
+	// greedy tier (internal/greedy — a statistics-free join order, built
+	// in microseconds, always correct). The flight continues detached —
+	// surviving every caller's cancellation — and upgrades the plan-cache
+	// entry when it lands, so subsequent requests for the shape serve the
+	// backchase-cheapest plan. Zero (the default) keeps serving fully
+	// synchronous. Warm shapes are unaffected as long as the budget
+	// exceeds the cache-hit flight latency (~1ms; budgets of a few ms up
+	// are safe).
+	MaxPlanLatency time.Duration
 }
+
+// Tier identifies which optimizer tier produced a Response's plan.
+type Tier string
+
+// The two serving tiers: the full chase & backchase path, and the
+// instant statistics-free greedy planner served when the backchase
+// flight exceeds Options.MaxPlanLatency.
+const (
+	TierBackchase Tier = "backchase"
+	TierGreedy    Tier = "greedy"
+)
 
 // Request is one optimization request. Deps and PhysicalNames play the
 // roles of optimizer.Options.Deps / PhysicalNames; they are part of the
@@ -99,6 +132,17 @@ type Response struct {
 	// CacheHit reports that the backchase phase was served from the plan
 	// cache (chase phase still ran — it is polynomial and cheap).
 	CacheHit bool
+	// Tier reports which planner answered: TierBackchase for the full
+	// path (synchronous or landed within MaxPlanLatency), TierGreedy when
+	// the latency budget expired and the instant tier served instead.
+	// Empty only on errors.
+	Tier Tier
+	// Upgraded reports that this shape's plan was (at some point) put in
+	// place by a detached flight landing after its first callers were
+	// served the greedy tier — i.e. the response carries a plan that
+	// earlier requests saw only in greedy form. Always false on
+	// TierGreedy responses.
+	Upgraded bool
 }
 
 // Counters is a point-in-time snapshot of the service's request
@@ -120,6 +164,13 @@ type Counters struct {
 	BackchaseRuns int64
 	// StatsSwaps counts SetStats calls.
 	StatsSwaps int64
+	// GreedyServed counts responses answered by the greedy tier because
+	// the backchase flight exceeded Options.MaxPlanLatency.
+	GreedyServed int64
+	// Upgraded counts detached flights that landed after serving at
+	// least one greedy-tier response — each is one plan-cache entry
+	// upgraded from the greedy plan to the backchase-cheapest one.
+	Upgraded int64
 }
 
 // statsSnapshot pairs a statistics pointer with its precomputed
@@ -150,13 +201,28 @@ type Service struct {
 	// against (instance.go).
 	instanceRegistry
 
+	// upgradeMu guards upgradedKeys, the set of flight keys whose
+	// detached flight landed after greedy-tier responses were served —
+	// the source of Response.Upgraded on later hits. Bounded by
+	// maxUpgradedKeys (a cold-shape working set far larger than any plan
+	// cache); on overflow the set resets, which only downgrades the
+	// informational Upgraded flag, never a plan.
+	upgradeMu    sync.Mutex
+	upgradedKeys map[string]struct{}
+
 	requests      atomic.Int64
 	errors        atomic.Int64
 	coalesced     atomic.Int64
 	flights       atomic.Int64
 	backchaseRuns atomic.Int64
 	statsSwaps    atomic.Int64
+	greedyServed  atomic.Int64
+	upgraded      atomic.Int64
 }
+
+// maxUpgradedKeys bounds the upgraded-shapes set so an adversarial
+// stream of unique cold shapes cannot grow service memory without bound.
+const maxUpgradedKeys = 1 << 16
 
 // New builds a Service.
 func New(opts Options) *Service {
@@ -178,8 +244,33 @@ func New(opts Options) *Service {
 		cache:   backchase.NewPlanCacheSharded(size, shards),
 		metrics: m,
 	}
+	s.group.onUpgrade = s.noteUpgrade
 	s.stats.Store(newSnapshot(opts.Stats))
 	return s
+}
+
+// noteUpgrade records a detached flight's landing: counts it and marks
+// the flight key so later responses for the shape report Upgraded.
+func (s *Service) noteUpgrade(key string) {
+	s.upgraded.Add(1)
+	s.upgradeMu.Lock()
+	if len(s.upgradedKeys) >= maxUpgradedKeys {
+		s.upgradedKeys = nil
+	}
+	if s.upgradedKeys == nil {
+		s.upgradedKeys = make(map[string]struct{})
+	}
+	s.upgradedKeys[key] = struct{}{}
+	s.upgradeMu.Unlock()
+}
+
+// wasUpgraded reports whether the shape's plan was installed by a
+// detached-flight upgrade.
+func (s *Service) wasUpgraded(key string) bool {
+	s.upgradeMu.Lock()
+	_, ok := s.upgradedKeys[key]
+	s.upgradeMu.Unlock()
+	return ok
 }
 
 func newSnapshot(st *cost.Stats) *statsSnapshot {
@@ -193,7 +284,10 @@ func newSnapshot(st *cost.Stats) *statsSnapshot {
 // Optimize runs Algorithm 1 on the request, coalescing with concurrent
 // alpha-equivalent requests and serving repeated shapes from the plan
 // cache. ctx cancels only this caller's wait: if other requests share the
-// flight it keeps running for them.
+// flight it keeps running for them. With Options.MaxPlanLatency set, a
+// flight that misses the budget yields an immediate greedy-tier response
+// (Response.Tier == TierGreedy) and continues detached until it lands
+// and upgrades the plan cache.
 func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) {
 	if req.Query == nil {
 		s.errors.Add(1)
@@ -206,7 +300,7 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 	s.requests.Add(1)
 	snap := s.stats.Load()
 	key := flightKey(req, snap.fp, s.opts.CostBounded)
-	res, coalesced, err := s.group.do(ctx, key, func(fctx context.Context) (*optimizer.Result, error) {
+	fly := func(fctx context.Context) (*optimizer.Result, error) {
 		s.flights.Add(1)
 		r, err := optimizer.OptimizeContext(fctx, req.Query, optimizer.Options{
 			Deps:          req.Deps,
@@ -240,7 +334,19 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 			s.swapMu.Unlock()
 		}
 		return r, err
-	})
+	}
+
+	var (
+		res       *optimizer.Result
+		coalesced bool
+		err       error
+	)
+	landed := true
+	if s.opts.MaxPlanLatency > 0 {
+		res, coalesced, landed, err = s.group.doDetached(ctx, key, s.opts.MaxPlanLatency, fly)
+	} else {
+		res, coalesced, err = s.group.do(ctx, key, fly)
+	}
 	if coalesced {
 		s.coalesced.Add(1)
 	}
@@ -248,7 +354,41 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 		s.errors.Add(1)
 		return nil, err
 	}
-	return &Response{Result: res, Coalesced: coalesced, CacheHit: res.BackchaseCached}, nil
+	if !landed {
+		s.greedyServed.Add(1)
+		return &Response{
+			Result:    s.greedyResult(req, snap.stats),
+			Coalesced: coalesced,
+			Tier:      TierGreedy,
+		}, nil
+	}
+	return &Response{
+		Result:    res,
+		Coalesced: coalesced,
+		CacheHit:  res.BackchaseCached,
+		Tier:      TierBackchase,
+		Upgraded:  s.wasUpgraded(key),
+	}, nil
+}
+
+// greedyResult builds the instant-tier response body: the greedy plan as
+// the sole candidate, costed under the current statistics snapshot (or
+// uniform defaults) so EstCost-style consumers still see a number. No
+// chase ran, so Universal is the request query itself; States/Pruned
+// stay zero — greedy planning explores nothing.
+func (s *Service) greedyResult(req Request, st *cost.Stats) *optimizer.Result {
+	plan := greedy.Plan(req.Query)
+	if st == nil {
+		st = cost.NewStats()
+	}
+	c, card := st.Estimate(plan)
+	r := &optimizer.Result{
+		Universal:  req.Query,
+		Minimal:    []*core.Query{plan},
+		Candidates: []cost.RankedPlan{{Query: plan, Cost: c, Card: card}},
+	}
+	r.Best = &r.Candidates[0]
+	return r
 }
 
 // SetStats atomically installs a new statistics snapshot (nil reverts to
@@ -283,6 +423,8 @@ func (s *Service) Counters() Counters {
 		Flights:       s.flights.Load(),
 		BackchaseRuns: s.backchaseRuns.Load(),
 		StatsSwaps:    s.statsSwaps.Load(),
+		GreedyServed:  s.greedyServed.Load(),
+		Upgraded:      s.upgraded.Load(),
 	}
 }
 

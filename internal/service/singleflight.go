@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"sync"
+	"time"
 
 	"cnb/internal/optimizer"
 )
@@ -10,15 +11,30 @@ import (
 // flight is one in-progress optimization shared by every concurrent
 // request for the same flight key.
 type flight struct {
-	// done is closed by the runner goroutine after res/err are set.
+	// done is closed by the runner goroutine (under flightGroup.mu) after
+	// res/err are set.
 	done chan struct{}
 	res  *optimizer.Result
 	err  error
 	// refs counts the callers currently interested in the outcome
 	// (guarded by flightGroup.mu). When the last one abandons the wait,
-	// the flight itself is cancelled — nobody would consume the result.
+	// a non-detached flight is cancelled — nobody would consume the
+	// result.
 	refs   int
 	cancel context.CancelFunc
+	// detached marks a flight that must run to completion regardless of
+	// callers (the tiered serving path): waiter timeouts and
+	// cancellations never cancel it, and its landing upgrades the plan
+	// cache for future requests. Guarded by flightGroup.mu.
+	detached bool
+	// greedyServed records that at least one caller's latency budget
+	// expired and it was served the greedy tier instead of this flight's
+	// outcome. The runner reads it (under mu, in the same critical
+	// section that closes done) to decide whether its completion is an
+	// upgrade — the mutex makes "timed out before landing" and "landed
+	// first" mutually exclusive, so upgrade counters cannot double- or
+	// under-count.
+	greedyServed bool
 }
 
 // flightGroup coalesces concurrent optimizations of alpha-equivalent
@@ -31,7 +47,9 @@ type flight struct {
 // neither cancel the owner nor poison the shared outcome. The flight's
 // own context is detached from every caller's (context.WithoutCancel of
 // the first caller's, so request-scoped values still flow) and is
-// cancelled only when the last interested caller has left.
+// cancelled only when the last interested caller has left — unless the
+// flight is detached (doDetached), in which case it always runs to
+// completion so its result can upgrade the plan cache.
 //
 // Outcomes are not memoized here: a flight is removed from the group the
 // moment it completes. Cross-request memoization is the plan cache's job
@@ -40,6 +58,12 @@ type flight struct {
 type flightGroup struct {
 	mu      sync.Mutex
 	flights map[string]*flight
+	// onUpgrade, when set, is called (outside mu) after a detached
+	// flight that served at least one greedy-tier response completes
+	// without error — the moment the plan-cache entry for key stops
+	// serving the greedy plan and starts serving the backchase-cheapest
+	// one.
+	onUpgrade func(key string)
 }
 
 // do runs fn once per key among concurrent callers. It returns fn's
@@ -47,36 +71,71 @@ type flightGroup struct {
 // flight (false for the flight owner). All coalesced callers share the
 // owner's *optimizer.Result — read-only by package convention.
 func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (*optimizer.Result, error)) (*optimizer.Result, bool, error) {
+	f, coalesced := g.join(ctx, key, false, fn)
+	res, err := g.wait(ctx, key, f)
+	return res, coalesced, err
+}
+
+// doDetached is do under a latency budget: it waits at most budget for
+// the flight to land. On landing in time it behaves exactly like do
+// (landed=true). When the budget expires first it returns landed=false
+// with no result — the caller serves the greedy tier — while the flight
+// continues detached, surviving every caller's departure, and reports
+// its eventual landing through onUpgrade. Joining an existing flight
+// promotes it to detached: once any caller has been served the greedy
+// tier, the flight owes the cache an upgrade.
+func (g *flightGroup) doDetached(ctx context.Context, key string, budget time.Duration, fn func(context.Context) (*optimizer.Result, error)) (res *optimizer.Result, coalesced, landed bool, err error) {
+	f, coalesced := g.join(ctx, key, true, fn)
+	res, landed, err = g.waitBudget(ctx, f, budget)
+	return res, coalesced, landed, err
+}
+
+// join returns the live flight for key, starting one (and its runner
+// goroutine) if none exists. The second result reports whether the
+// caller joined an existing flight.
+func (g *flightGroup) join(ctx context.Context, key string, detached bool, fn func(context.Context) (*optimizer.Result, error)) (*flight, bool) {
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = map[string]*flight{}
 	}
 	if f, ok := g.flights[key]; ok {
 		f.refs++
-		g.mu.Unlock()
-		res, err := g.wait(ctx, key, f)
-		return res, true, err
-	}
-	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel}
-	g.flights[key] = f
-	g.mu.Unlock()
-
-	go func() {
-		res, err := fn(fctx)
-		g.mu.Lock()
-		f.res, f.err = res, err
-		// Remove only our own flight: if every caller left and a fresh
-		// flight for the same key has already started, it must survive.
-		if g.flights[key] == f {
-			delete(g.flights, key)
+		if detached {
+			f.detached = true
 		}
 		g.mu.Unlock()
-		close(f.done)
-		cancel()
-	}()
-	res, err := g.wait(ctx, key, f)
-	return res, false, err
+		return f, true
+	}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), refs: 1, cancel: cancel, detached: detached}
+	g.flights[key] = f
+	g.mu.Unlock()
+	go g.run(key, f, fctx, fn)
+	return f, false
+}
+
+// run executes the flight and publishes its outcome. Setting res/err,
+// removing the flight from the map, closing done and reading
+// greedyServed happen in one critical section, so a budgeted waiter
+// (waitBudget's timer branch, also under mu) either observes the landing
+// and serves it, or marks greedyServed before the landing is visible —
+// never both, never neither.
+func (g *flightGroup) run(key string, f *flight, fctx context.Context, fn func(context.Context) (*optimizer.Result, error)) {
+	res, err := fn(fctx)
+	g.mu.Lock()
+	f.res, f.err = res, err
+	// Remove only our own flight: if every caller left and a fresh
+	// flight for the same key has already started, it must survive.
+	if g.flights[key] == f {
+		delete(g.flights, key)
+	}
+	upgraded := f.detached && f.greedyServed && err == nil
+	close(f.done)
+	g.mu.Unlock()
+	f.cancel()
+	if upgraded && g.onUpgrade != nil {
+		g.onUpgrade(key)
+	}
 }
 
 // wait blocks until the flight completes or the caller's own context is
@@ -88,7 +147,7 @@ func (g *flightGroup) wait(ctx context.Context, key string, f *flight) (*optimiz
 	case <-ctx.Done():
 		g.mu.Lock()
 		f.refs--
-		if f.refs == 0 {
+		if f.refs == 0 && !f.detached {
 			select {
 			case <-f.done:
 				// Completed while we were acquiring the lock; the runner
@@ -102,5 +161,38 @@ func (g *flightGroup) wait(ctx context.Context, key string, f *flight) (*optimiz
 		}
 		g.mu.Unlock()
 		return nil, ctx.Err()
+	}
+}
+
+// waitBudget blocks until the flight lands, the budget expires, or the
+// caller's context is cancelled. landed reports that the flight's own
+// outcome is being returned; on a budget expiry it returns
+// (nil, false, nil) after marking the flight greedy-served, and on
+// caller cancellation (nil, false, ctx.Err()). The flight itself is
+// never cancelled from here — it is detached.
+func (g *flightGroup) waitBudget(ctx context.Context, f *flight, budget time.Duration) (*optimizer.Result, bool, error) {
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case <-f.done:
+		return f.res, true, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.refs--
+		g.mu.Unlock()
+		return nil, false, ctx.Err()
+	case <-timer.C:
+		g.mu.Lock()
+		select {
+		case <-f.done:
+			// Landed while the timer fired; serve the real outcome.
+			g.mu.Unlock()
+			return f.res, true, f.err
+		default:
+		}
+		f.greedyServed = true
+		f.refs--
+		g.mu.Unlock()
+		return nil, false, nil
 	}
 }
