@@ -45,6 +45,13 @@
 #                     detachment suites and the percentile and greedy
 #                     planner unit tests. Not -short: the cold replay
 #                     IS the gate.
+#   make serve-adaptive - race-instrumented adaptive-promotion gate:
+#                     E21's three-phase predictor replay (train cold,
+#                     serve trained with zero budgeted waits) plus the
+#                     latency-predictor and histogram unit suites and
+#                     the cnbd tier_reason / metrics-ordering handler
+#                     tests. Not -short: the trained replay IS the
+#                     gate.
 #   make serve-smoke - build cnbd, start it, optimize the ProjDept
 #                     example twice over HTTP (the second round must be
 #                     a plan-cache hit), install a generated instance
@@ -80,7 +87,7 @@ CNBD_ADDR ?= 127.0.0.1:18343
 EXEC_ROWS ?= 100000
 EXEC_TIMEOUT ?= 600
 
-.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline bench-exec lint-docs cover serve-load serve-cold serve-smoke
+.PHONY: ci vet build test race bench-smoke bench bench-json bench-check bench-baseline bench-exec lint-docs cover serve-load serve-cold serve-adaptive serve-smoke
 
 ci: vet build test race bench-smoke
 
@@ -154,6 +161,17 @@ serve-cold:
 		-run 'TestE20ColdTiered|TestTiered|TestDetachedFlight|TestWarmShape|TestPercentile|TestTieredOptimizeEndToEnd' \
 		./internal/bench ./internal/service ./cmd/cnbd
 	$(GO) test -race -count=1 ./internal/greedy
+
+# The CI adaptive-promotion gate: the E21 replay (not -short — the cold
+# training pass and the zero-wait trained pass are the point) plus the
+# predictor edge-case suite (cold start, EWMA rules, abandoned-flight
+# training, eviction, stats-swap invalidation), the histogram suites,
+# and the cnbd handler tests that pin tier_reason and the /metrics key
+# order, all race-instrumented.
+serve-adaptive:
+	$(GO) test -race -count=1 \
+		-run 'TestE21Adaptive|TestPredictor|TestClassify|TestFastPlan|TestPredicted|TestSynchronousReason|TestHistogram|TestServiceHistograms|TestQueryHistograms|TestMetricsKeyOrder|TestOptimizeTierReason|TestMetricsHistResetOnScrape' \
+		./internal/bench ./internal/service ./cmd/cnbd
 
 # End-to-end smoke of the cnbd server: start it, run the example client
 # (two optimize rounds — the second must be served from the plan cache —

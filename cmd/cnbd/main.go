@@ -12,19 +12,27 @@
 // error codes and curl examples live in docs/API.md — the single source
 // of truth for the HTTP surface.
 //
-// With -max-plan-latency set, serving is two-tiered: a request whose
-// backchase flight misses the budget is answered from the instant greedy
-// tier (tier "greedy" in /optimize and /query results) while the flight
-// continues detached and upgrades the plan cache — /metrics reports
-// greedy_served and upgraded_flights.
+// With -max-plan-latency set, serving is two-tiered and adaptive: a
+// request whose backchase flight misses the budget is answered from the
+// instant greedy tier (tier "greedy" in /optimize and /query results)
+// while the flight continues detached and upgrades the plan cache, and a
+// per-shape latency predictor learns from every landing so later
+// requests skip the budgeted wait in both directions (tier_reason
+// "predicted-fast" waits synchronously, "predicted-slow" serves greedy
+// immediately, "budgeted" is the unknown-shape fallback) — /metrics
+// reports greedy_served, upgraded_flights, the prediction counters and
+// per-tier latency histograms (reset each scrape with
+// -hist-reset-on-scrape).
 //
 // Usage:
 //
 //	cnbd [-addr :8343] [-parallelism N] [-cache-size N] [-cost-bounded]
-//	     [-query-timeout 30s] [-max-plan-latency 0] [-pprof-addr addr]
+//	     [-query-timeout 30s] [-max-plan-latency 0] [-fast-plan-latency 0]
+//	     [-hist-reset-on-scrape] [-pprof-addr addr]
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -54,6 +62,7 @@ type queryResult struct {
 	BestPlan          string  `json:"best_plan,omitempty"`
 	BestCost          float64 `json:"best_cost"`
 	Tier              string  `json:"tier"`
+	TierReason        string  `json:"tier_reason"`
 	Upgraded          bool    `json:"upgraded,omitempty"`
 	CacheHit          bool    `json:"cache_hit"`
 	Coalesced         bool    `json:"coalesced"`
@@ -81,6 +90,7 @@ type execResult struct {
 	Plan       string      `json:"plan"`
 	EstCost    float64     `json:"est_cost"`
 	Tier       string      `json:"tier"`
+	TierReason string      `json:"tier_reason"`
 	Upgraded   bool        `json:"upgraded,omitempty"`
 	CacheHit   bool        `json:"cache_hit"`
 	Coalesced  bool        `json:"coalesced"`
@@ -105,6 +115,10 @@ type server struct {
 	svc          *service.Service
 	queryTimeout time.Duration
 	start        time.Time
+	// histResetOnScrape makes every GET /metrics response snapshot the
+	// per-tier latency histograms and then zero them, so each scrape
+	// reports the interval since the previous one (-hist-reset-on-scrape).
+	histResetOnScrape bool
 }
 
 // newServer builds the shared service and its HTTP mux; split from main
@@ -137,17 +151,21 @@ func main() {
 		costBounded  = flag.Bool("cost-bounded", false, "cost-bounded best-first backchase once stats are installed")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "server-side execution deadline per /query request (0 = none)")
 		maxPlanLat   = flag.Duration("max-plan-latency", 0, "plan-latency SLO: serve the greedy tier when the backchase flight misses this budget (0 = synchronous)")
+		fastPlanLat  = flag.Duration("fast-plan-latency", 0, "predicted flight latency at or below which a shape skips the budgeted wait and serves synchronously (0 = max-plan-latency)")
+		histReset    = flag.Bool("hist-reset-on-scrape", false, "zero the per-tier latency histograms after every GET /metrics, so each scrape reports the interval since the previous one")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
 
-	_, mux := newServer(service.Options{
-		Parallelism:    *parallelism,
-		CacheSize:      *cacheSize,
-		CacheShards:    *cacheShards,
-		CostBounded:    *costBounded,
-		MaxPlanLatency: *maxPlanLat,
+	srv0, mux := newServer(service.Options{
+		Parallelism:       *parallelism,
+		CacheSize:         *cacheSize,
+		CacheShards:       *cacheShards,
+		CostBounded:       *costBounded,
+		MaxPlanLatency:    *maxPlanLat,
+		FastPlanThreshold: *fastPlanLat,
 	}, *queryTimeout)
+	srv0.histResetOnScrape = *histReset
 
 	if *pprofAddr != "" {
 		// The pprof handlers self-register on DefaultServeMux (blank
@@ -201,6 +219,7 @@ func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			MinimalPlans:      len(res.Result.Minimal),
 			Candidates:        len(res.Result.Candidates),
 			Tier:              string(res.Tier),
+			TierReason:        string(res.TierReason),
 			Upgraded:          res.Upgraded,
 			CacheHit:          res.CacheHit,
 			Coalesced:         res.Coalesced,
@@ -287,6 +306,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Plan:       qres.Plan,
 			EstCost:    qres.EstCost,
 			Tier:       string(qres.Optimize.Tier),
+			TierReason: string(qres.Optimize.TierReason),
 			Upgraded:   qres.Optimize.Upgraded,
 			CacheHit:   qres.Optimize.CacheHit,
 			Coalesced:  qres.Optimize.Coalesced,
@@ -382,48 +402,121 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// kv is one key of an orderedObj.
+type kv struct {
+	k string
+	v any
+}
+
+// orderedObj is a JSON object whose keys marshal in insertion order.
+// /metrics renders through it so the whole document — including the
+// per-instance section, inserted in Instances()'s name-sorted order —
+// has one deterministic key order and successive scrapes diff cleanly
+// line by line (a plain map hands the layout to encoding/json instead
+// of the handler, and anything non-map, like a struct, would freeze the
+// dynamic instance names out entirely). TestMetricsKeyOrder pins the
+// rendered order.
+type orderedObj []kv
+
+// MarshalJSON renders the object with keys in insertion order. Nested
+// values go back through json.Marshal, so nested orderedObj values
+// order their keys the same way.
+func (o orderedObj) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, e := range o {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		kb, err := json.Marshal(e.k)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		vb, err := json.Marshal(e.v)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(vb)
+	}
+	b.WriteByte('}')
+	return b.Bytes(), nil
+}
+
+// histogramJSON renders one per-tier latency snapshot: the bucket
+// layout is log2 microseconds (buckets[0] is <1µs, buckets[i] covers
+// [2^(i-1), 2^i) µs, the last bucket absorbs everything larger) and
+// total is the exact sum of buckets — the number of requests recorded.
+func histogramJSON(h service.HistogramSnapshot) orderedObj {
+	return orderedObj{
+		{"total", h.Total},
+		{"buckets", h.Counts},
+	}
+}
+
 // handleMetrics dumps every counter the serving layer maintains,
-// including the cumulative executed-query accounting per instance.
+// including the cumulative executed-query accounting per instance and
+// the per-tier latency histograms. With -hist-reset-on-scrape the
+// histograms are zeroed after the snapshot, so each scrape reports the
+// interval since the previous one.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c := s.svc.Counters()
 	cc := s.svc.CacheCounters()
 	m := s.svc.ChaseMetrics()
-	instances := map[string]any{}
+	h := s.svc.Histograms()
+	if s.histResetOnScrape {
+		s.svc.ResetHistograms()
+	}
+	instances := orderedObj{}
 	for _, sum := range s.svc.Instances() {
 		qc, _ := s.svc.InstanceCountersFor(sum.Name)
-		instances[sum.Name] = map[string]any{
-			"collections":  sum.Collections,
-			"data_rows":    sum.Rows,
-			"queries":      qc.Queries,
-			"rows_emitted": qc.Rows,
-			"evals":        qc.Evals,
-			"exec_errors":  qc.ExecErrors,
-		}
+		instances = append(instances, kv{sum.Name, orderedObj{
+			{"collections", sum.Collections},
+			{"data_rows", sum.Rows},
+			{"queries", qc.Queries},
+			{"rows_emitted", qc.Rows},
+			{"evals", qc.Evals},
+			{"exec_errors", qc.ExecErrors},
+		}})
 	}
-	writeJSON(w, map[string]any{
-		"uptime_seconds":   time.Since(s.start).Seconds(),
-		"requests":         c.Requests,
-		"errors":           c.Errors,
-		"coalesced":        c.Coalesced,
-		"flights":          c.Flights,
-		"backchase_runs":   c.BackchaseRuns,
-		"stats_swaps":      c.StatsSwaps,
-		"greedy_served":    c.GreedyServed,
-		"upgraded_flights": c.Upgraded,
-		"cache": map[string]any{
-			"hits":        cc.Hits,
-			"misses":      cc.Misses,
-			"evictions":   cc.Evictions,
-			"invalidated": cc.Invalidated,
-			"entries":     s.svc.CacheLen(),
-		},
-		"chase": map[string]any{
-			"runs":         m.Runs.Load(),
-			"steps":        m.ChaseSteps.Load(),
-			"hom_tests":    m.HomTests.Load(),
-			"dep_searches": m.DepSearches.Load(),
-		},
-		"instances": instances,
+	writeJSON(w, orderedObj{
+		{"uptime_seconds", time.Since(s.start).Seconds()},
+		{"requests", c.Requests},
+		{"errors", c.Errors},
+		{"coalesced", c.Coalesced},
+		{"flights", c.Flights},
+		{"backchase_runs", c.BackchaseRuns},
+		{"stats_swaps", c.StatsSwaps},
+		{"greedy_served", c.GreedyServed},
+		{"upgraded_flights", c.Upgraded},
+		{"predicted_fast", c.PredictedFast},
+		{"predicted_slow", c.PredictedSlow},
+		{"prediction_miss", c.PredictionMiss},
+		{"budgeted_waits", c.BudgetedWaits},
+		{"predictor_entries", s.svc.PredictorLen()},
+		{"cache", orderedObj{
+			{"hits", cc.Hits},
+			{"misses", cc.Misses},
+			{"evictions", cc.Evictions},
+			{"invalidated", cc.Invalidated},
+			{"entries", s.svc.CacheLen()},
+		}},
+		{"chase", orderedObj{
+			{"runs", m.Runs.Load()},
+			{"steps", m.ChaseSteps.Load()},
+			{"hom_tests", m.HomTests.Load()},
+			{"dep_searches", m.DepSearches.Load()},
+		}},
+		{"histograms", orderedObj{
+			{"bucket_unit", "log2_us"},
+			{"greedy", histogramJSON(h.Greedy)},
+			{"backchase_sync", histogramJSON(h.BackchaseSync)},
+			{"backchase_upgraded", histogramJSON(h.BackchaseUpgraded)},
+			{"query_plan", histogramJSON(h.QueryPlan)},
+			{"query_exec", histogramJSON(h.QueryExec)},
+		}},
+		{"instances", instances},
 	})
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -347,5 +348,188 @@ func TestTieredOptimizeEndToEnd(t *testing.T) {
 	}
 	if q["upgraded"] != true || q["cache_hit"] != true {
 		t.Fatalf("post-upgrade response: upgraded=%v cache_hit=%v, want true/true", q["upgraded"], q["cache_hit"])
+	}
+}
+
+// getRaw fetches a URL and returns the raw body for order-sensitive
+// assertions (a decoded map loses the key order under test).
+func getRaw(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// walkValue consumes one JSON value from dec; when path names the target
+// object, its keys are appended to out in document order.
+func walkValue(t *testing.T, dec *json.Decoder, path, target string, out *[]string) {
+	t.Helper()
+	tok, err := dec.Token()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := tok.(json.Delim)
+	if !ok {
+		return // scalar
+	}
+	switch d {
+	case '{':
+		for dec.More() {
+			kt, err := dec.Token()
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := kt.(string)
+			if path == target {
+				*out = append(*out, k)
+			}
+			child := k
+			if path != "" {
+				child = path + "." + k
+			}
+			walkValue(t, dec, child, target, out)
+		}
+		if _, err := dec.Token(); err != nil { // consume '}'
+			t.Fatal(err)
+		}
+	case '[':
+		for dec.More() {
+			walkValue(t, dec, path+"[]", target, out)
+		}
+		if _, err := dec.Token(); err != nil { // consume ']'
+			t.Fatal(err)
+		}
+	}
+}
+
+// keyOrder returns the key order of the object at the dotted path
+// (empty = document root) in a raw JSON document.
+func keyOrder(t *testing.T, raw []byte, target string) []string {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	var out []string
+	walkValue(t, dec, "", target, &out)
+	return out
+}
+
+// TestMetricsKeyOrder pins the /metrics layout: a fixed top-level key
+// order (so successive scrapes diff cleanly line by line) and
+// per-instance entries sorted by name regardless of install order.
+func TestMetricsKeyOrder(t *testing.T) {
+	ts := testServer(t)
+
+	// Install in anti-alphabetical order; the scrape must sort.
+	for _, name := range []string{"zeta", "alpha"} {
+		if status, out := postJSON(t, ts.URL+"/instance?name="+name,
+			`{"workload": "projdept", "gen": {"NumDepts": 3, "ProjsPerDept": 2, "Seed": 1}}`); status != http.StatusOK {
+			t.Fatalf("install %s: %d: %v", name, status, out)
+		}
+	}
+	raw := getRaw(t, ts.URL+"/metrics")
+
+	wantTop := []string{
+		"uptime_seconds", "requests", "errors", "coalesced", "flights",
+		"backchase_runs", "stats_swaps", "greedy_served", "upgraded_flights",
+		"predicted_fast", "predicted_slow", "prediction_miss", "budgeted_waits",
+		"predictor_entries", "cache", "chase", "histograms", "instances",
+	}
+	got := keyOrder(t, raw, "")
+	if len(got) != len(wantTop) {
+		t.Fatalf("top-level keys %v, want %v", got, wantTop)
+	}
+	for i := range wantTop {
+		if got[i] != wantTop[i] {
+			t.Fatalf("top-level key[%d] = %q, want %q (full order %v)", i, got[i], wantTop[i], got)
+		}
+	}
+	if inst := keyOrder(t, raw, "instances"); len(inst) != 2 || inst[0] != "alpha" || inst[1] != "zeta" {
+		t.Fatalf("instance order %v, want [alpha zeta]", inst)
+	}
+	wantHists := []string{"bucket_unit", "greedy", "backchase_sync", "backchase_upgraded", "query_plan", "query_exec"}
+	if hists := keyOrder(t, raw, "histograms"); strings.Join(hists, ",") != strings.Join(wantHists, ",") {
+		t.Fatalf("histogram keys %v, want %v", hists, wantHists)
+	}
+
+	// Two scrapes of an idle server must render identically apart from
+	// the uptime line — the diff-cleanly contract, end to end.
+	again := getRaw(t, ts.URL+"/metrics")
+	strip := func(raw []byte) string {
+		var kept []string
+		for _, line := range strings.Split(string(raw), "\n") {
+			if !strings.Contains(line, "uptime_seconds") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if strip(raw) != strip(again) {
+		t.Fatalf("idle scrapes differ:\n%s\n----\n%s", raw, again)
+	}
+}
+
+// TestOptimizeTierReason: a synchronous server reports "synchronous" on
+// every response; a budgeted server reports "budgeted" cold and
+// "predicted-fast" warm.
+func TestOptimizeTierReason(t *testing.T) {
+	ts := testServer(t)
+	_, out := postJSON(t, ts.URL+"/optimize", projDeptDoc)
+	q := out["queries"].([]any)[0].(map[string]any)
+	if q["tier_reason"] != "synchronous" {
+		t.Fatalf("sync tier_reason = %v, want synchronous", q["tier_reason"])
+	}
+
+	_, mux := newServer(service.Options{Parallelism: 1, MaxPlanLatency: 30 * time.Second}, 30*time.Second)
+	tts := httptest.NewServer(mux)
+	t.Cleanup(tts.Close)
+	_, out = postJSON(t, tts.URL+"/optimize", projDeptDoc)
+	q = out["queries"].([]any)[0].(map[string]any)
+	if q["tier_reason"] != "budgeted" {
+		t.Fatalf("cold tier_reason = %v, want budgeted", q["tier_reason"])
+	}
+	_, out = postJSON(t, tts.URL+"/optimize", projDeptDoc)
+	q = out["queries"].([]any)[0].(map[string]any)
+	if q["tier_reason"] != "predicted-fast" || q["cache_hit"] != true {
+		t.Fatalf("warm response: tier_reason=%v cache_hit=%v, want predicted-fast/true", q["tier_reason"], q["cache_hit"])
+	}
+
+	_, metrics := getJSON(t, tts.URL+"/metrics")
+	if metrics["budgeted_waits"].(float64) != 1 || metrics["predicted_fast"].(float64) != 1 || metrics["predictor_entries"].(float64) != 1 {
+		t.Fatalf("adaptive metrics off: %v", metrics)
+	}
+}
+
+// TestMetricsHistResetOnScrape: with the reset flag on, each scrape
+// reports the interval since the previous one — the second scrape of an
+// idle server shows empty histograms (counters are untouched).
+func TestMetricsHistResetOnScrape(t *testing.T) {
+	srv, mux := newServer(service.Options{Parallelism: 1}, 30*time.Second)
+	srv.histResetOnScrape = true
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	postJSON(t, ts.URL+"/optimize", projDeptDoc)
+	total := func(m map[string]any) float64 {
+		return m["histograms"].(map[string]any)["backchase_sync"].(map[string]any)["total"].(float64)
+	}
+	_, first := getJSON(t, ts.URL+"/metrics")
+	if total(first) != 1 {
+		t.Fatalf("first scrape backchase_sync total = %v, want 1", total(first))
+	}
+	_, second := getJSON(t, ts.URL+"/metrics")
+	if total(second) != 0 {
+		t.Fatalf("second scrape backchase_sync total = %v, want 0 (reset on scrape)", total(second))
+	}
+	if second["requests"].(float64) != 1 {
+		t.Fatalf("reset touched the counters: requests = %v", second["requests"])
 	}
 }

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// TestE21Adaptive is the serve-adaptive gate: the experiment hard-fails
+// on any broken routing invariant — a train-pass request not taking the
+// budgeted wait, a serve-pass fast shape not served synchronously or a
+// slow shape not served greedy, any budgeted wait or prediction miss on
+// the trained service, a convergence response missing the cache or the
+// synchronous cheapest cost, or histogram totals that do not sum to the
+// request count — so the test runs it and sanity-checks the exact
+// counters the baseline gates.
+func TestE21Adaptive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adaptive replay pays two full cold backchase passes; skipped in -short")
+	}
+	tb, err := E21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Metrics["budgeted_waits"]; got != 0 {
+		t.Errorf("serve-pass budgeted_waits = %v, want 0 (the tentpole gate)", got)
+	}
+	if got := tb.Metrics["prediction_miss"]; got != 0 {
+		t.Errorf("prediction_miss = %v, want 0", got)
+	}
+	if got, want := tb.Metrics["predicted_fast"], tb.Metrics["fast_shapes"]*2+tb.Metrics["slow_shapes"]; got != want {
+		t.Errorf("predicted_fast = %v, want %v (fast shapes twice, slow shapes once upgraded)", got, want)
+	}
+	if got, want := tb.Metrics["predicted_slow"], tb.Metrics["slow_shapes"]; got != want {
+		t.Errorf("predicted_slow = %v, want %v", got, want)
+	}
+	sum := tb.Metrics["hist_greedy_total"] + tb.Metrics["hist_backchase_sync_total"] + tb.Metrics["hist_backchase_upgraded_total"]
+	if want := tb.Metrics["shapes"] * 2; sum != want {
+		t.Errorf("histogram totals sum to %v, want %v (every serve-pass request recorded once)", sum, want)
+	}
+	if s, a := tb.Metrics["cheapest_cost_sync_total"], tb.Metrics["cheapest_cost_adaptive_total"]; s != a {
+		t.Errorf("adaptive cost total %v != synchronous cost total %v", a, s)
+	}
+	t.Logf("\n%s", tb)
+}

@@ -126,6 +126,8 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		qr.Explain = p.Explain()
 		qr.ExecDur = time.Since(execStart)
 		entry.queries.Add(1)
+		s.hists.queryPlan.Record(qr.PlanDur)
+		s.hists.queryExec.Record(qr.ExecDur)
 		return qr, nil
 	}
 
@@ -157,6 +159,8 @@ func (s *Service) Query(ctx context.Context, req QueryRequest) (*QueryResponse, 
 		entry.queries.Add(1)
 		entry.rows.Add(qr.Measure.Rows)
 		entry.evals.Add(qr.Measure.Evals)
+		s.hists.queryPlan.Record(qr.PlanDur)
+		s.hists.queryExec.Record(qr.ExecDur)
 		return qr, nil
 	}
 	entry.execErrors.Add(1)

@@ -25,7 +25,15 @@
 // statistics-free, always-correct join order built in microseconds),
 // while the flight continues detached and upgrades the plan cache when
 // it lands, so the shape's later requests serve the backchase-cheapest
-// plan. Response.Tier says which tier answered.
+// plan. Response.Tier says which tier answered. Tiering is adaptive: a
+// bounded latency predictor (LatencyPredictor) learns each shape
+// family's flight latency as flights land, and Optimize uses it to skip
+// the budgeted machinery in both directions — predicted-fast shapes
+// wait synchronously with no timer, predicted-slow shapes serve the
+// greedy tier immediately with no wait; only unknown shapes pay the
+// budgeted wait. Response.TierReason names the branch taken, and
+// per-tier latency histograms (Histograms) expose the resulting
+// distributions.
 //
 // Beyond planning, the Service also answers queries: InstallInstance
 // registers named data instances (hot-swappable exactly like SetStats),
@@ -96,7 +104,29 @@ type Options struct {
 	// synchronous. Warm shapes are unaffected as long as the budget
 	// exceeds the cache-hit flight latency (~1ms; budgets of a few ms up
 	// are safe).
+	//
+	// With the budget set, serving is additionally adaptive: the latency
+	// predictor (see Predictor) learns each shape family's flight latency,
+	// and Optimize consults it per request. A shape predicted to land
+	// within FastPlanThreshold skips the budgeted machinery entirely — no
+	// greedy detour, no timer, a plain synchronous wait. A shape predicted
+	// to miss is served the greedy tier immediately with no timed wait at
+	// all, while its flight proceeds detached exactly as on a budget
+	// expiry. Only unknown shapes pay the budgeted wait.
 	MaxPlanLatency time.Duration
+	// FastPlanThreshold is the predicted flight latency at or below which
+	// a shape family is served synchronously instead of through the
+	// budgeted machinery (only meaningful with MaxPlanLatency > 0).
+	// Zero defaults it to MaxPlanLatency itself: "predicted to land
+	// within the budget" then means "the timer would not have fired".
+	FastPlanThreshold time.Duration
+	// Predictor, when non-nil, is the latency side table the adaptive
+	// tier decisions consult and train; nil gives the Service its own
+	// private table (capacity DefaultPredictorCapacity). Supplying one
+	// lets learned budgets outlive a Service — e.g. across a plan-cache
+	// rebuild or a restart that re-news the Service — and lets tests
+	// train on one Service and serve on another.
+	Predictor *LatencyPredictor
 }
 
 // Tier identifies which optimizer tier produced a Response's plan.
@@ -108,6 +138,31 @@ type Tier string
 const (
 	TierBackchase Tier = "backchase"
 	TierGreedy    Tier = "greedy"
+)
+
+// TierReason explains why a Response was routed to its tier — which
+// branch of the adaptive dispatch the request took, independent of how
+// that branch turned out (a budgeted wait can still land in time and
+// serve the backchase tier).
+type TierReason string
+
+// The four dispatch branches of Service.Optimize.
+const (
+	// ReasonSynchronous: two-tier serving is off (MaxPlanLatency == 0);
+	// the request waited for the flight unconditionally.
+	ReasonSynchronous TierReason = "synchronous"
+	// ReasonBudgeted: the shape family was unknown to the predictor, so
+	// the request took the classic budgeted wait (greedy tier on expiry).
+	ReasonBudgeted TierReason = "budgeted"
+	// ReasonPredictedFast: the predictor expected the flight to land
+	// within FastPlanThreshold (or the shape's plan was already upgraded
+	// by a detached flight), so the request waited synchronously with no
+	// timer and no greedy detour.
+	ReasonPredictedFast TierReason = "predicted-fast"
+	// ReasonPredictedSlow: the predictor expected the flight to miss the
+	// budget, so the request was served the greedy tier immediately with
+	// no timed wait, its flight proceeding detached.
+	ReasonPredictedSlow TierReason = "predicted-slow"
 )
 
 // Request is one optimization request. Deps and PhysicalNames play the
@@ -143,6 +198,9 @@ type Response struct {
 	// earlier requests saw only in greedy form. Always false on
 	// TierGreedy responses.
 	Upgraded bool
+	// TierReason records which adaptive-dispatch branch routed the
+	// request (see TierReason). Empty only on errors.
+	TierReason TierReason
 }
 
 // Counters is a point-in-time snapshot of the service's request
@@ -171,6 +229,21 @@ type Counters struct {
 	// least one greedy-tier response — each is one plan-cache entry
 	// upgraded from the greedy plan to the backchase-cheapest one.
 	Upgraded int64
+	// PredictedFast counts requests routed ReasonPredictedFast: the
+	// predictor (or an upgraded plan-cache entry) promised a fast flight,
+	// so they waited synchronously with no timer.
+	PredictedFast int64
+	// PredictedSlow counts requests routed ReasonPredictedSlow: served
+	// the greedy tier immediately, no timed wait at all.
+	PredictedSlow int64
+	// PredictionMiss counts ReasonPredictedFast requests whose
+	// synchronous wait then exceeded MaxPlanLatency anyway — the
+	// predictor's broken promises, the adaptive path's error signal.
+	PredictionMiss int64
+	// BudgetedWaits counts requests routed ReasonBudgeted — unknown
+	// shape families that paid the classic timed wait. Under a trained
+	// predictor this is the number E21 gates to zero.
+	BudgetedWaits int64
 }
 
 // statsSnapshot pairs a statistics pointer with its precomputed
@@ -210,14 +283,24 @@ type Service struct {
 	upgradeMu    sync.Mutex
 	upgradedKeys map[string]struct{}
 
-	requests      atomic.Int64
-	errors        atomic.Int64
-	coalesced     atomic.Int64
-	flights       atomic.Int64
-	backchaseRuns atomic.Int64
-	statsSwaps    atomic.Int64
-	greedyServed  atomic.Int64
-	upgraded      atomic.Int64
+	// predictor is the per-shape flight-latency side table behind the
+	// adaptive tier decisions (predictor.go); hists are the per-tier
+	// latency distributions /metrics exports (histogram.go).
+	predictor *LatencyPredictor
+	hists     tierHistograms
+
+	requests       atomic.Int64
+	errors         atomic.Int64
+	coalesced      atomic.Int64
+	flights        atomic.Int64
+	backchaseRuns  atomic.Int64
+	statsSwaps     atomic.Int64
+	greedyServed   atomic.Int64
+	upgraded       atomic.Int64
+	predictedFast  atomic.Int64
+	predictedSlow  atomic.Int64
+	predictionMiss atomic.Int64
+	budgetedWaits  atomic.Int64
 }
 
 // maxUpgradedKeys bounds the upgraded-shapes set so an adversarial
@@ -239,10 +322,15 @@ func New(opts Options) *Service {
 		m = &chase.Metrics{}
 	}
 	opts.Chase.Metrics = m
+	pred := opts.Predictor
+	if pred == nil {
+		pred = NewLatencyPredictor(0)
+	}
 	s := &Service{
-		opts:    opts,
-		cache:   backchase.NewPlanCacheSharded(size, shards),
-		metrics: m,
+		opts:      opts,
+		cache:     backchase.NewPlanCacheSharded(size, shards),
+		metrics:   m,
+		predictor: pred,
 	}
 	s.group.onUpgrade = s.noteUpgrade
 	s.stats.Store(newSnapshot(opts.Stats))
@@ -302,6 +390,7 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 	key := flightKey(req, snap.fp, s.opts.CostBounded)
 	fly := func(fctx context.Context) (*optimizer.Result, error) {
 		s.flights.Add(1)
+		flyStart := time.Now()
 		r, err := optimizer.OptimizeContext(fctx, req.Query, optimizer.Options{
 			Deps:          req.Deps,
 			PhysicalNames: req.PhysicalNames,
@@ -312,8 +401,17 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 			Chase:         s.opts.Chase,
 			Backchase:     backchase.Options{Cache: s.cache},
 		})
-		if err == nil && !r.BackchaseCached {
-			s.backchaseRuns.Add(1)
+		if err == nil {
+			// Train the predictor on every landing — the runner executes
+			// this closure even for a detached flight all callers
+			// abandoned, so shape families learn from exactly the flights
+			// that happened, not just the ones somebody waited for. Runs
+			// before the flight's done channel closes, so by the time any
+			// response for this flight is visible the prediction is too.
+			s.predictor.observe(key, time.Since(flyStart), r.BackchaseCached)
+			if !r.BackchaseCached {
+				s.backchaseRuns.Add(1)
+			}
 		}
 		// A SetStats landing mid-flight sweeps the cache before this
 		// flight's own put (tagged with the snapshot it started under)
@@ -341,9 +439,31 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 		coalesced bool
 		err       error
 	)
+	start := time.Now()
 	landed := true
+	reason := ReasonSynchronous
 	if s.opts.MaxPlanLatency > 0 {
-		res, coalesced, landed, err = s.group.doDetached(ctx, key, s.opts.MaxPlanLatency, fly)
+		reason = s.classify(key)
+		switch reason {
+		case ReasonPredictedFast:
+			// Promised fast: plain synchronous wait, no timer, no greedy
+			// detour. A promise the flight breaks is counted as a miss.
+			s.predictedFast.Add(1)
+			res, coalesced, err = s.group.do(ctx, key, fly)
+			if err == nil && time.Since(start) > s.opts.MaxPlanLatency {
+				s.predictionMiss.Add(1)
+			}
+		case ReasonPredictedSlow:
+			// Promised slow: the timed wait cannot pay off, so skip it and
+			// serve the greedy tier now; the flight proceeds detached and
+			// upgrades the cache when it lands.
+			s.predictedSlow.Add(1)
+			res, coalesced, landed, err = s.group.doImmediate(ctx, key, fly)
+		default:
+			// Unknown shape: the classic PR 9 budgeted wait.
+			s.budgetedWaits.Add(1)
+			res, coalesced, landed, err = s.group.doDetached(ctx, key, s.opts.MaxPlanLatency, fly)
+		}
 	} else {
 		res, coalesced, err = s.group.do(ctx, key, fly)
 	}
@@ -356,19 +476,63 @@ func (s *Service) Optimize(ctx context.Context, req Request) (*Response, error) 
 	}
 	if !landed {
 		s.greedyServed.Add(1)
+		s.hists.greedy.Record(time.Since(start))
 		return &Response{
-			Result:    s.greedyResult(req, snap.stats),
-			Coalesced: coalesced,
-			Tier:      TierGreedy,
+			Result:     s.greedyResult(req, snap.stats),
+			Coalesced:  coalesced,
+			Tier:       TierGreedy,
+			TierReason: reason,
 		}, nil
 	}
+	upgraded := s.wasUpgraded(key)
+	if upgraded {
+		s.hists.backchaseUpgraded.Record(time.Since(start))
+	} else {
+		s.hists.backchaseSync.Record(time.Since(start))
+	}
 	return &Response{
-		Result:    res,
-		Coalesced: coalesced,
-		CacheHit:  res.BackchaseCached,
-		Tier:      TierBackchase,
-		Upgraded:  s.wasUpgraded(key),
+		Result:     res,
+		Coalesced:  coalesced,
+		CacheHit:   res.BackchaseCached,
+		Tier:       TierBackchase,
+		Upgraded:   upgraded,
+		TierReason: reason,
 	}, nil
+}
+
+// classify picks the adaptive-dispatch branch for a shape family under
+// two-tier serving. An upgraded plan-cache entry overrides a slow
+// prediction: the upgrade means the backchase-cheapest plan is sitting
+// in the cache, so the next flight is a ~ms cache hit regardless of how
+// long the enumeration that produced it took (the EWMA still remembers
+// the enumeration until a cache-hit landing overwrites it).
+func (s *Service) classify(key string) TierReason {
+	if s.wasUpgraded(key) {
+		return ReasonPredictedFast
+	}
+	ewma, known := s.predictor.predict(key)
+	if !known {
+		return ReasonBudgeted
+	}
+	if ewma <= s.fastThreshold() {
+		return ReasonPredictedFast
+	}
+	return ReasonPredictedSlow
+}
+
+// fastThreshold resolves Options.FastPlanThreshold's zero default.
+func (s *Service) fastThreshold() time.Duration {
+	if s.opts.FastPlanThreshold > 0 {
+		return s.opts.FastPlanThreshold
+	}
+	return s.opts.MaxPlanLatency
+}
+
+// PredictorLen reports the number of shape families the latency
+// predictor currently tracks (exported on /metrics as
+// predictor_entries).
+func (s *Service) PredictorLen() int {
+	return s.predictor.Len()
 }
 
 // greedyResult builds the instant-tier response body: the greedy plan as
@@ -417,14 +581,18 @@ func (s *Service) Stats() *cost.Stats {
 // Counters returns a snapshot of the request accounting.
 func (s *Service) Counters() Counters {
 	return Counters{
-		Requests:      s.requests.Load(),
-		Errors:        s.errors.Load(),
-		Coalesced:     s.coalesced.Load(),
-		Flights:       s.flights.Load(),
-		BackchaseRuns: s.backchaseRuns.Load(),
-		StatsSwaps:    s.statsSwaps.Load(),
-		GreedyServed:  s.greedyServed.Load(),
-		Upgraded:      s.upgraded.Load(),
+		Requests:       s.requests.Load(),
+		Errors:         s.errors.Load(),
+		Coalesced:      s.coalesced.Load(),
+		Flights:        s.flights.Load(),
+		BackchaseRuns:  s.backchaseRuns.Load(),
+		StatsSwaps:     s.statsSwaps.Load(),
+		GreedyServed:   s.greedyServed.Load(),
+		Upgraded:       s.upgraded.Load(),
+		PredictedFast:  s.predictedFast.Load(),
+		PredictedSlow:  s.predictedSlow.Load(),
+		PredictionMiss: s.predictionMiss.Load(),
+		BudgetedWaits:  s.budgetedWaits.Load(),
 	}
 }
 

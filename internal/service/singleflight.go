@@ -90,6 +90,30 @@ func (g *flightGroup) doDetached(ctx context.Context, key string, budget time.Du
 	return res, coalesced, landed, err
 }
 
+// doImmediate is doDetached with a zero budget: the caller never arms a
+// timer and never waits. If the flight for key has already been started
+// and is still in the air, or is started here, the caller is marked
+// greedy-served and leaves immediately (landed=false) while the flight
+// continues detached and upgrades the plan cache when it lands. Used for
+// shapes the latency predictor expects to miss the budget — for them the
+// budgeted wait is pure added latency with no chance of paying off.
+// (If the flight happens to land between join and the check below, its
+// real outcome is served, exactly like waitBudget's timer branch.)
+func (g *flightGroup) doImmediate(ctx context.Context, key string, fn func(context.Context) (*optimizer.Result, error)) (res *optimizer.Result, coalesced, landed bool, err error) {
+	f, coalesced := g.join(ctx, key, true, fn)
+	g.mu.Lock()
+	select {
+	case <-f.done:
+		g.mu.Unlock()
+		return f.res, coalesced, true, f.err
+	default:
+	}
+	f.greedyServed = true
+	f.refs--
+	g.mu.Unlock()
+	return nil, coalesced, false, nil
+}
+
 // join returns the live flight for key, starting one (and its runner
 // goroutine) if none exists. The second result reports whether the
 // caller joined an existing flight.
